@@ -1,0 +1,133 @@
+// Command dsinspect browses a fleet dataset produced by cmd/fleetgen:
+// per-rack summaries with measured classification, and per-rack drill-down
+// into runs and burst statistics.
+//
+// Usage:
+//
+//	dsinspect -data fleet.gob.gz                 # rack table
+//	dsinspect -data fleet.gob.gz -rack RegA/3    # one rack's runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	data := flag.String("data", "fleet.gob.gz", "dataset path")
+	rack := flag.String("rack", "", "drill into one rack, e.g. RegA/3")
+	top := flag.Int("top", 0, "show only the N highest-contention racks")
+	flag.Parse()
+
+	var ds fleet.Dataset
+	if err := trace.Load(*data, &ds); err != nil {
+		fmt.Fprintln(os.Stderr, "dsinspect:", err)
+		os.Exit(1)
+	}
+	if *rack != "" {
+		parts := strings.SplitN(*rack, "/", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "dsinspect: -rack wants REGION/ID")
+			os.Exit(1)
+		}
+		id, err := strconv.Atoi(parts[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsinspect: bad rack id:", err)
+			os.Exit(1)
+		}
+		drill(&ds, parts[0], id)
+		return
+	}
+	overview(&ds, *top)
+}
+
+func overview(ds *fleet.Dataset, top int) {
+	fmt.Printf("dataset: %d racks, %d runs, seed %d, %d servers/rack, hours %v\n\n",
+		len(ds.Racks), len(ds.Runs), ds.Cfg.Seed, ds.Cfg.ServersPerRack, ds.Cfg.Hours)
+	racks := append([]fleet.RackMeta(nil), ds.Racks...)
+	sort.Slice(racks, func(a, b int) bool {
+		return racks[a].BusyAvgContention > racks[b].BusyAvgContention
+	})
+	if top > 0 && top < len(racks) {
+		racks = racks[:top]
+	}
+	fmt.Printf("%-8s %-4s %-13s %9s %6s %9s %8s %8s\n",
+		"region", "id", "class", "busy-cont", "tasks", "dom-share", "bursts", "lossy")
+	for _, m := range racks {
+		var bursts, lossy int
+		for i := range ds.Runs {
+			r := &ds.Runs[i]
+			if r.Region != m.Region || r.RackID != m.ID {
+				continue
+			}
+			bursts += len(r.Bursts)
+			for _, b := range r.Bursts {
+				if b.Lossy {
+					lossy++
+				}
+			}
+		}
+		lossPct := "-"
+		if bursts > 0 {
+			lossPct = fmt.Sprintf("%.2f%%", 100*float64(lossy)/float64(bursts))
+		}
+		fmt.Printf("%-8s %-4d %-13s %9.2f %6d %8.0f%% %8d %8s\n",
+			m.Region, m.ID, m.Class, m.BusyAvgContention,
+			m.DistinctTasks, 100*m.DominantShare, bursts, lossPct)
+	}
+}
+
+func drill(ds *fleet.Dataset, region string, id int) {
+	m := ds.Rack(region, id)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "dsinspect: no rack %s/%d\n", region, id)
+		os.Exit(1)
+	}
+	fmt.Printf("rack %s/%d: class %v, %d distinct tasks, dominant task on %.0f%% of servers",
+		m.Region, m.ID, m.Class, m.DistinctTasks, 100*m.DominantShare)
+	if m.MLDominated {
+		fmt.Printf(" (ML-dominated placement)")
+	}
+	fmt.Printf(", RegB intensity %.2f\n\n", m.Intensity)
+
+	fmt.Printf("%-5s %9s %9s %8s %8s %9s %10s %9s\n",
+		"hour", "avg-cont", "p90-cont", "bursts", "lossy", "drop%", "GB/min", "discards")
+	var runs []*fleet.RunSummary
+	for i := range ds.Runs {
+		r := &ds.Runs[i]
+		if r.Region == region && r.RackID == id {
+			runs = append(runs, r)
+		}
+	}
+	sort.Slice(runs, func(a, b int) bool { return runs[a].Hour < runs[b].Hour })
+	var lens []float64
+	for _, r := range runs {
+		lossy := 0
+		for _, b := range r.Bursts {
+			if b.Lossy {
+				lossy++
+			}
+			lens = append(lens, float64(b.Len))
+		}
+		drop := "-"
+		if r.ShareDropOK {
+			drop = fmt.Sprintf("%.1f%%", 100*r.ShareDrop)
+		}
+		fmt.Printf("%-5d %9.2f %9.1f %8d %8d %9s %10.1f %9d\n",
+			r.Hour, r.AvgContention, r.P90Contention, len(r.Bursts), lossy,
+			drop, float64(r.IngressPerMin)/1e9, r.Switch.DiscardSegs)
+	}
+	if len(lens) > 0 {
+		b := stats.Summarize(lens)
+		fmt.Printf("\nburst lengths (ms): min %.0f p25 %.0f median %.0f p75 %.0f p90 %.0f max %.0f (n=%d)\n",
+			b.Min, b.P25, b.Median, b.P75, b.P90, b.Max, b.N)
+	}
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's tables and figures from a
+// simulated fleet dataset.
+//
+// Usage:
+//
+//	experiments [-preset small|default] [-run fig7,tab2|all] [-data ds.gob.gz]
+//
+// With -data pointing at an existing file the dataset is loaded; otherwise
+// it is generated (and saved there when -data is given).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+func main() {
+	preset := flag.String("preset", "small", "dataset preset: small or default")
+	runIDs := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	data := flag.String("data", "", "dataset path to load from / save to (gob.gz)")
+	seed := flag.Uint64("seed", 0, "override dataset seed (0 keeps preset seed)")
+	racks := flag.Int("racks", 0, "override racks per region")
+	md := flag.String("md", "", "also write results as markdown to this file")
+	plot := flag.Bool("plot", false, "render ASCII plots for figures that carry curves")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ds, err := loadOrGenerate(*preset, *data, *seed, *racks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	var results []*experiments.Result
+	if *runIDs == "all" {
+		results, err = experiments.RunAll(ds)
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			r, rerr := experiments.Run(strings.TrimSpace(id), ds)
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			results = append(results, r)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		r.Render(os.Stdout)
+		if *plot {
+			r.RenderPlot(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			r.RenderMarkdown(f)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote markdown to %s\n", *md)
+	}
+}
+
+func loadOrGenerate(preset, data string, seed uint64, racks int) (*fleet.Dataset, error) {
+	if data != "" {
+		if _, err := os.Stat(data); err == nil {
+			var ds fleet.Dataset
+			if err := trace.Load(data, &ds); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "loaded dataset: %d runs, %d racks\n", len(ds.Runs), len(ds.Racks))
+			return &ds, nil
+		}
+	}
+	var cfg fleet.Config
+	switch preset {
+	case "small":
+		cfg = fleet.SmallConfig()
+	case "default":
+		cfg = fleet.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if racks > 0 {
+		cfg.RacksPerRegion = racks
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating %s dataset (%d racks/region x %d hours)...\n",
+		preset, cfg.RacksPerRegion, len(cfg.Hours))
+	ds, err := fleet.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d runs in %v\n", len(ds.Runs), time.Since(start).Round(time.Second))
+	if data != "" {
+		if err := trace.Save(data, ds); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "saved dataset to %s\n", data)
+	}
+	return ds, nil
+}

@@ -1,0 +1,84 @@
+// Command fleetgen generates a fleet dataset — a full simulated collection
+// day over both regions — and stores it compressed on disk for later
+// analysis with cmd/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "fleet.gob.gz", "output dataset path")
+	preset := flag.String("preset", "default", "preset: small or default")
+	seed := flag.Uint64("seed", 0, "override seed")
+	racks := flag.Int("racks", 0, "override racks per region")
+	servers := flag.Int("servers", 0, "override servers per rack")
+	buckets := flag.Int("buckets", 0, "override sampler buckets per run")
+	hours := flag.String("hours", "", "override sampled hours, e.g. 0,6,12,18")
+	workers := flag.Int("workers", 0, "override generation parallelism")
+	flag.Parse()
+
+	var cfg fleet.Config
+	switch *preset {
+	case "small":
+		cfg = fleet.SmallConfig()
+	case "default":
+		cfg = fleet.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "fleetgen: unknown preset %q\n", *preset)
+		os.Exit(1)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *racks > 0 {
+		cfg.RacksPerRegion = *racks
+	}
+	if *servers > 0 {
+		cfg.ServersPerRack = *servers
+	}
+	if *buckets > 0 {
+		cfg.Buckets = *buckets
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *hours != "" {
+		cfg.Hours = nil
+		for _, part := range strings.Split(*hours, ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || h < 0 || h > 23 {
+				fmt.Fprintf(os.Stderr, "fleetgen: bad hour %q\n", part)
+				os.Exit(1)
+			}
+			cfg.Hours = append(cfg.Hours, h)
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "fleetgen: %d racks/region x %d servers x %d hours, seed %d\n",
+		cfg.RacksPerRegion, cfg.ServersPerRack, len(cfg.Hours), cfg.Seed)
+	ds, err := fleet.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+	if err := trace.Save(*out, ds); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+	var bursts int
+	for i := range ds.Runs {
+		bursts += len(ds.Runs[i].Bursts)
+	}
+	fmt.Fprintf(os.Stderr, "fleetgen: %d runs, %d bursts -> %s in %v\n",
+		len(ds.Runs), bursts, *out, time.Since(start).Round(time.Second))
+}

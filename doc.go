@@ -1,0 +1,26 @@
+// Package repro is a from-scratch reproduction of "A Microscopic View of
+// Bursts, Buffer Contention, and Loss in Data Centers" (Ghabashneh et al.,
+// IMC 2022): Millisampler, SyncMillisampler, and the full simulated
+// data-center substrate needed to regenerate every table and figure of the
+// paper's evaluation.
+//
+// The library is organized bottom-up:
+//
+//   - internal/sim        — deterministic discrete-event engine and RNG
+//   - internal/clock      — NTP-disciplined host clock model
+//   - internal/netsim     — segments, links, NICs, multi-core hosts, tc hooks
+//   - internal/switchsim  — shared-memory ToR with dynamic-threshold sharing
+//   - internal/transport  — DCTCP / Cubic / Reno with loss recovery
+//   - internal/sketch     — 128-bit connection-counting sketch
+//   - internal/testbed    — rack topology assembly
+//   - internal/core       — Millisampler and SyncMillisampler (the paper's
+//     contribution)
+//   - internal/analysis   — bursts, contention, loss attribution
+//   - internal/workload   — service traffic profiles and validation tools
+//   - internal/fleet      — two-region placement, diurnal schedule, datasets
+//   - internal/experiments— one generator per paper table/figure
+//   - internal/trace      — compressed dataset and run storage
+//
+// The benchmarks in bench_test.go regenerate each experiment (see DESIGN.md
+// for the index) and reproduce the §4.3 performance microbenchmarks.
+package repro

@@ -1,0 +1,310 @@
+// Package analysis implements the paper's measurement methodology over
+// SyncMillisampler data: burst detection, buffer-contention series, and the
+// burst/contention/loss joint classification (paper §5, §6, §8).
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/switchsim"
+)
+
+// Options parameterize the analysis.
+type Options struct {
+	// BurstThreshold is the utilization fraction above which a sample is
+	// bursty. The paper defines a burst as consecutive samples exceeding 50%
+	// of line rate, following Zhang et al. (IMC 2017).
+	BurstThreshold float64
+	// LossLookahead is how many samples past a burst's end retransmitted
+	// bytes are still attributed to it. Retransmissions indicate when losses
+	// are repaired, not when they occur, so the analysis must look roughly
+	// an RTT later (§4.6); at 1 ms sampling and sub-millisecond RTTs two
+	// buckets suffice.
+	LossLookahead int
+	// Alpha is the DT parameter used to convert contention into buffer
+	// share (fleet default 1).
+	Alpha float64
+}
+
+// DefaultOptions mirrors the paper's choices.
+func DefaultOptions() Options {
+	return Options{BurstThreshold: 0.5, LossLookahead: 2, Alpha: 1}
+}
+
+func (o Options) withDefaults() Options {
+	if o.BurstThreshold == 0 {
+		o.BurstThreshold = 0.5
+	}
+	if o.LossLookahead == 0 {
+		o.LossLookahead = 2
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	return o
+}
+
+// Burst is one detected burst on one server.
+type Burst struct {
+	// Server indexes SyncRun.Servers.
+	Server int
+	// Start and End delimit the samples [Start, End).
+	Start, End int
+	// Volume is the total ingress bytes across the burst's samples.
+	Volume float64
+	// AvgConns is the mean per-sample connection estimate inside the burst.
+	AvgConns float64
+	// MaxContention is the maximum contention level over the burst's
+	// lifetime — the level the paper associates each burst with (§8).
+	MaxContention int
+	// Lossy reports whether retransmitted bytes appeared during the burst
+	// or within the loss lookahead after it.
+	Lossy bool
+	// ContentionAtFirstLoss is the contention at the sample of the first
+	// retransmission attributed to the burst (0 when not lossy). The paper
+	// checks this alternative association and finds the same trends.
+	ContentionAtFirstLoss int
+}
+
+// Len returns the burst length in samples (milliseconds at 1 ms sampling).
+func (b *Burst) Len() int { return b.End - b.Start }
+
+// Contended reports whether the burst ever overlapped another server's
+// burst: contention level 1 is a lone burst, which effectively sees no
+// buffer contention (§5).
+func (b *Burst) Contended() bool { return b.MaxContention >= 2 }
+
+// ServerRun summarizes one server's series within a rack run (the unit the
+// paper calls a "server run").
+type ServerRun struct {
+	Server int
+	// Bursty reports whether the server had at least one burst.
+	Bursty bool
+	// NumBursts counts bursts in the run.
+	NumBursts int
+	// BurstsPerSec normalizes NumBursts by the run duration (Fig. 6).
+	BurstsPerSec float64
+	// AvgUtil is the mean ingress utilization across the run.
+	AvgUtil float64
+	// AvgUtilInside / AvgUtilOutside split utilization by burst membership.
+	AvgUtilInside  float64
+	AvgUtilOutside float64
+	// AvgConnsInside / AvgConnsOutside split the connection estimate by
+	// burst membership (Fig. 8).
+	AvgConnsInside  float64
+	AvgConnsOutside float64
+	// InBytes is total ingress bytes; BurstBytes the portion inside bursts.
+	InBytes    float64
+	BurstBytes float64
+}
+
+// RunAnalysis is the full decomposition of one SyncRun.
+type RunAnalysis struct {
+	Run  *core.SyncRun
+	Opts Options
+
+	// Bursty marks [server][sample] burstiness.
+	Bursty [][]bool
+	// Contention is the per-sample count of simultaneously bursty servers
+	// (the paper's definition of contention, §5).
+	Contention []int
+	// Bursts lists every detected burst across all servers.
+	Bursts []Burst
+	// Servers holds per-server-run summaries.
+	Servers []ServerRun
+}
+
+// Analyze decomposes a SyncRun.
+func Analyze(sr *core.SyncRun, opts Options) *RunAnalysis {
+	opts = opts.withDefaults()
+	n := sr.Samples
+	ra := &RunAnalysis{Run: sr, Opts: opts}
+	ra.Bursty = make([][]bool, len(sr.Servers))
+	ra.Contention = make([]int, n)
+
+	intervalSec := sr.Interval.Seconds()
+	for si := range sr.Servers {
+		srv := &sr.Servers[si]
+		row := make([]bool, n)
+		threshold := opts.BurstThreshold * float64(srv.LineRateBps) / 8 * intervalSec
+		for i := 0; i < n; i++ {
+			if srv.In[i] > threshold {
+				row[i] = true
+				ra.Contention[i]++
+			}
+		}
+		ra.Bursty[si] = row
+	}
+
+	for si := range sr.Servers {
+		ra.analyzeServer(si)
+	}
+	return ra
+}
+
+func (ra *RunAnalysis) analyzeServer(si int) {
+	sr := ra.Run
+	srv := &sr.Servers[si]
+	row := ra.Bursty[si]
+	n := sr.Samples
+	intervalSec := sr.Interval.Seconds()
+
+	run := ServerRun{Server: si}
+	var insideUtil, outsideUtil, insideConns, outsideConns float64
+	var insideN, outsideN int
+
+	for i := 0; i < n; i++ {
+		util := srv.In[i] * 8 / intervalSec / float64(srv.LineRateBps)
+		run.InBytes += srv.In[i]
+		run.AvgUtil += util
+		if row[i] {
+			insideUtil += util
+			insideConns += srv.Conns[i]
+			insideN++
+			run.BurstBytes += srv.In[i]
+		} else {
+			outsideUtil += util
+			outsideConns += srv.Conns[i]
+			outsideN++
+		}
+	}
+	run.AvgUtil /= float64(n)
+	if insideN > 0 {
+		run.AvgUtilInside = insideUtil / float64(insideN)
+		run.AvgConnsInside = insideConns / float64(insideN)
+	}
+	if outsideN > 0 {
+		run.AvgUtilOutside = outsideUtil / float64(outsideN)
+		run.AvgConnsOutside = outsideConns / float64(outsideN)
+	}
+
+	// Extract consecutive bursty spans.
+	for i := 0; i < n; {
+		if !row[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && row[j] {
+			j++
+		}
+		b := Burst{Server: si, Start: i, End: j}
+		for k := i; k < j; k++ {
+			b.Volume += srv.In[k]
+			b.AvgConns += srv.Conns[k]
+			if ra.Contention[k] > b.MaxContention {
+				b.MaxContention = ra.Contention[k]
+			}
+		}
+		b.AvgConns /= float64(j - i)
+		lossEnd := j + ra.Opts.LossLookahead
+		if lossEnd > n {
+			lossEnd = n
+		}
+		for k := i; k < lossEnd; k++ {
+			if srv.InRetx[k] > 0 {
+				b.Lossy = true
+				ci := k
+				if ci >= n {
+					ci = n - 1
+				}
+				b.ContentionAtFirstLoss = ra.Contention[ci]
+				break
+			}
+		}
+		ra.Bursts = append(ra.Bursts, b)
+		run.NumBursts++
+		i = j
+	}
+
+	run.Bursty = run.NumBursts > 0
+	duration := float64(n) * intervalSec
+	if duration > 0 {
+		run.BurstsPerSec = float64(run.NumBursts) / duration
+	}
+	ra.Servers = append(ra.Servers, run)
+}
+
+// AvgContention returns the mean contention level across all samples of the
+// run (including idle samples), the per-run statistic behind Figures 9, 12,
+// 13 and 14.
+func (ra *RunAnalysis) AvgContention() float64 {
+	if len(ra.Contention) == 0 {
+		return 0
+	}
+	s := 0
+	for _, c := range ra.Contention {
+		s += c
+	}
+	return float64(s) / float64(len(ra.Contention))
+}
+
+// MinActiveContention returns the minimum contention across samples with at
+// least one bursty server (§7.3), and false when the run has none.
+func (ra *RunAnalysis) MinActiveContention() (int, bool) {
+	min := 0
+	found := false
+	for _, c := range ra.Contention {
+		if c == 0 {
+			continue
+		}
+		if !found || c < min {
+			min = c
+			found = true
+		}
+	}
+	return min, found
+}
+
+// P90Contention returns the 90th-percentile contention across all samples.
+func (ra *RunAnalysis) P90Contention() float64 {
+	if len(ra.Contention) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ra.Contention))
+	for i, c := range ra.Contention {
+		xs[i] = float64(c)
+	}
+	return percentile(xs, 90)
+}
+
+// QueueShare converts a contention level into the steady-state fraction of
+// the shared buffer available to each contending queue under the analysis
+// alpha. Contention 0 is treated as a single active queue.
+func (ra *RunAnalysis) QueueShare(contention int) float64 {
+	if contention < 1 {
+		contention = 1
+	}
+	return switchsim.SteadyShare(ra.Opts.Alpha, contention)
+}
+
+// BufferShareDrop returns the relative drop in per-queue buffer share
+// between the run's minimum-contention and p90-contention states (Fig. 15),
+// and false for runs with no active samples or zero p90 contention (the
+// paper excludes those).
+func (ra *RunAnalysis) BufferShareDrop() (float64, bool) {
+	min, ok := ra.MinActiveContention()
+	if !ok {
+		return 0, false
+	}
+	p90 := int(ra.P90Contention() + 0.5)
+	if p90 == 0 {
+		return 0, false
+	}
+	maxShare := ra.QueueShare(min)
+	p90Share := ra.QueueShare(p90)
+	return (maxShare - p90Share) / maxShare, true
+}
+
+func percentile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := p / 100 * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

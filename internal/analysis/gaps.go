@@ -1,0 +1,39 @@
+package analysis
+
+import "repro/internal/stats"
+
+// BurstGaps returns the idle gaps (in samples) between consecutive bursts of
+// each server in the run. Section 6 observes that servers typically show
+// multiple well-separated bursts; the gap distribution quantifies that
+// separation and drives the §4.1 design point that occasional sampling
+// windows still catch bursts.
+func (ra *RunAnalysis) BurstGaps() []int {
+	var gaps []int
+	lastEnd := make(map[int]int)
+	seen := make(map[int]bool)
+	for _, b := range ra.Bursts {
+		if seen[b.Server] {
+			gaps = append(gaps, b.Start-lastEnd[b.Server])
+		}
+		lastEnd[b.Server] = b.End
+		seen[b.Server] = true
+	}
+	return gaps
+}
+
+// ContentionPersistence returns the lag-k autocorrelation of the run's
+// contention series for each requested lag (in samples). High values at
+// multi-millisecond lags mean the buffer pressure a burst meets is
+// predictable from the recent past — the property that lets persistently
+// contended racks adapt (§8.1's hypothesis for RegA-High's low loss).
+func (ra *RunAnalysis) ContentionPersistence(lags []int) map[int]float64 {
+	xs := make([]float64, len(ra.Contention))
+	for i, c := range ra.Contention {
+		xs[i] = float64(c)
+	}
+	out := make(map[int]float64, len(lags))
+	for _, lag := range lags {
+		out[lag] = stats.Autocorrelation(xs, lag)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBurstGaps(t *testing.T) {
+	// Server 0: bursts [1,3) and [6,8) -> gap 3. Server 1: single burst,
+	// no gap.
+	ra := Analyze(mkRun([][]float64{
+		{0, 0.9, 0.9, 0, 0, 0, 0.9, 0.9, 0},
+		{0, 0, 0, 0.9, 0, 0, 0, 0, 0},
+	}), DefaultOptions())
+	gaps := ra.BurstGaps()
+	if len(gaps) != 1 || gaps[0] != 3 {
+		t.Errorf("gaps = %v, want [3]", gaps)
+	}
+}
+
+func TestBurstGapsNoneForIdle(t *testing.T) {
+	ra := Analyze(mkRun([][]float64{{0, 0, 0}}), DefaultOptions())
+	if gaps := ra.BurstGaps(); len(gaps) != 0 {
+		t.Errorf("idle run produced gaps %v", gaps)
+	}
+}
+
+func TestContentionPersistence(t *testing.T) {
+	// Periodic contention with period 4: strong autocorrelation at lag 4,
+	// weak at lag 2.
+	util := [][]float64{make([]float64, 64)}
+	for i := range util[0] {
+		if i%4 == 0 {
+			util[0][i] = 0.9
+		}
+	}
+	ra := Analyze(mkRun(util), DefaultOptions())
+	p := ra.ContentionPersistence([]int{2, 4})
+	if p[4] < 0.9 {
+		t.Errorf("lag-4 persistence = %v, want ~1 for period-4 series", p[4])
+	}
+	if p[2] > p[4] {
+		t.Errorf("lag-2 %v should be below lag-4 %v", p[2], p[4])
+	}
+	if math.IsNaN(p[4]) {
+		t.Error("persistence NaN for varying series")
+	}
+}

@@ -1,0 +1,110 @@
+// Package clock models host wall clocks for the simulator.
+//
+// Millisampler timestamps samples with the host's own clock, and
+// SyncMillisampler relies on all hosts in a rack agreeing on time to roughly
+// the sampling interval. In production this is achieved with one level of NTP
+// servers backed by stable-clock appliances using interleaved NTP, giving
+// sub-millisecond precision (paper §4.5). This package models exactly that:
+// each host clock reads the global simulation time plus a bounded offset and
+// a small frequency drift, with periodic NTP-style corrections pulling the
+// offset back toward zero.
+package clock
+
+import (
+	"repro/internal/sim"
+)
+
+// WallTime is a host-observed timestamp in nanoseconds. It shares the epoch
+// of sim.Time but differs by the host's synchronization error.
+type WallTime int64
+
+// Host is one machine's wall clock.
+type Host struct {
+	offset   int64   // current offset from true time, ns
+	driftPPB float64 // frequency error, parts per billion
+	lastSync sim.Time
+}
+
+// SyncModel describes the quality of a fleet's time synchronization.
+type SyncModel struct {
+	// MaxOffset bounds the absolute offset right after an NTP correction.
+	MaxOffset sim.Time
+	// MaxDriftPPB bounds the absolute frequency error between corrections.
+	MaxDriftPPB float64
+	// SyncInterval is how often the NTP daemon disciplines the clock.
+	SyncInterval sim.Time
+}
+
+// DefaultSyncModel reflects the paper's deployment: interleaved NTP through
+// one level of servers to dedicated appliances, sub-millisecond precision.
+// We use a 200 µs offset bound, comfortably under the 1 ms sampling interval.
+func DefaultSyncModel() SyncModel {
+	return SyncModel{
+		MaxOffset:    200 * sim.Microsecond,
+		MaxDriftPPB:  50_000, // 50 ppm worst-case crystal before discipline
+		SyncInterval: 16 * sim.Second,
+	}
+}
+
+// PerfectSyncModel returns a model with no error, useful in unit tests that
+// should not depend on clock noise.
+func PerfectSyncModel() SyncModel { return SyncModel{} }
+
+// NewHost creates a host clock with randomized offset and drift drawn from
+// the model using rng.
+func NewHost(m SyncModel, rng *sim.RNG) *Host {
+	h := &Host{}
+	if m.MaxOffset > 0 {
+		h.offset = rng.Int63n(int64(2*m.MaxOffset)) - int64(m.MaxOffset)
+	}
+	if m.MaxDriftPPB > 0 {
+		h.driftPPB = (rng.Float64()*2 - 1) * m.MaxDriftPPB
+	}
+	return h
+}
+
+// Now converts true simulation time to this host's wall clock.
+func (h *Host) Now(trueNow sim.Time) WallTime {
+	elapsed := float64(trueNow - h.lastSync)
+	drift := elapsed * h.driftPPB / 1e9
+	return WallTime(int64(trueNow) + h.offset + int64(drift))
+}
+
+// Offset returns the instantaneous clock error at trueNow.
+func (h *Host) Offset(trueNow sim.Time) sim.Time {
+	return sim.Time(int64(h.Now(trueNow)) - int64(trueNow))
+}
+
+// Resync models an NTP correction at trueNow: the accumulated drift is folded
+// into the offset and the offset is pulled within the model bound.
+func (h *Host) Resync(m SyncModel, trueNow sim.Time, rng *sim.RNG) {
+	h.offset = int64(h.Offset(trueNow))
+	h.lastSync = trueNow
+	if m.MaxOffset > 0 {
+		bound := int64(m.MaxOffset)
+		// Interleaved NTP steps the clock to within the bound rather than
+		// slewing; residual error is uniform within the bound.
+		h.offset = rng.Int63n(2*bound) - bound
+	} else {
+		h.offset = 0
+	}
+	if m.MaxDriftPPB > 0 {
+		h.driftPPB = (rng.Float64()*2 - 1) * m.MaxDriftPPB
+	} else {
+		h.driftPPB = 0
+	}
+}
+
+// StartDaemon schedules periodic Resync events on the engine, mirroring the
+// host NTP daemon. It is a no-op for models with no sync interval.
+func (h *Host) StartDaemon(e *sim.Engine, m SyncModel, rng *sim.RNG) {
+	if m.SyncInterval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		h.Resync(m, e.Now(), rng)
+		e.After(m.SyncInterval, tick)
+	}
+	e.After(m.SyncInterval, tick)
+}

@@ -1,0 +1,85 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPerfectClockIsTrue(t *testing.T) {
+	h := NewHost(PerfectSyncModel(), sim.NewRNG(1))
+	for _, now := range []sim.Time{0, sim.Second, sim.Hour} {
+		if got := h.Now(now); int64(got) != int64(now) {
+			t.Errorf("perfect clock Now(%v) = %v", now, got)
+		}
+	}
+}
+
+func TestOffsetWithinBound(t *testing.T) {
+	m := DefaultSyncModel()
+	rng := sim.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		h := NewHost(m, rng)
+		off := h.Offset(0)
+		if off > m.MaxOffset || off < -m.MaxOffset {
+			t.Fatalf("initial offset %v exceeds bound %v", off, m.MaxOffset)
+		}
+	}
+}
+
+func TestDriftAccumulates(t *testing.T) {
+	h := &Host{driftPPB: 1000} // 1 ppm fast
+	// After 1 second, a 1 ppm clock is 1 µs ahead.
+	got := h.Offset(sim.Second)
+	if got != sim.Microsecond {
+		t.Errorf("offset after 1s at 1ppm = %v, want 1µs", got)
+	}
+}
+
+func TestResyncBoundsError(t *testing.T) {
+	m := DefaultSyncModel()
+	rng := sim.NewRNG(9)
+	h := NewHost(m, rng)
+	h.driftPPB = m.MaxDriftPPB // worst case
+	now := 10 * sim.Minute
+	h.Resync(m, now, rng)
+	off := h.Offset(now)
+	if off > m.MaxOffset || off < -m.MaxOffset {
+		t.Errorf("offset after resync = %v, want within ±%v", off, m.MaxOffset)
+	}
+}
+
+func TestDaemonKeepsSubMillisecond(t *testing.T) {
+	// The property the paper validates in §4.5: host clocks stay aligned to
+	// well under the 1 ms sampling interval over long spans.
+	m := DefaultSyncModel()
+	e := sim.NewEngine()
+	rng := sim.NewRNG(11)
+	hosts := make([]*Host, 8)
+	for i := range hosts {
+		hosts[i] = NewHost(m, rng)
+		hosts[i].StartDaemon(e, m, rng)
+	}
+	for step := 0; step < 20; step++ {
+		e.RunFor(30 * sim.Second)
+		for i, h := range hosts {
+			off := h.Offset(e.Now())
+			if off > sim.Millisecond || off < -sim.Millisecond {
+				t.Fatalf("host %d offset %v at %v exceeds 1ms", i, off, e.Now())
+			}
+		}
+	}
+}
+
+func TestOffsetSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		h := NewHost(DefaultSyncModel(), rng)
+		now := sim.Time(rng.Int63n(int64(sim.Second)))
+		return int64(h.Now(now))-int64(now) == int64(h.Offset(now))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import "repro/internal/sim"
+
+// Periodic drives Millisampler the way the production user-space component
+// does on every host (paper §4.1): occasionally attach the filter, run one
+// collection window, wait for the enabled flag to clear, detach, hand the
+// aggregated counters to storage, and schedule the next run.
+type Periodic struct {
+	Sampler *Sampler
+	// Period is the gap between run starts. Occasional execution keeps the
+	// amortized overhead negligible.
+	Period sim.Time
+	// Store receives each harvested run (e.g. a trace.Store sink).
+	Store func(*Run)
+
+	stopped bool
+	runs    int
+}
+
+// Start begins the periodic schedule on the host's engine, with the first
+// run starting after one period.
+func (p *Periodic) Start() {
+	if p.Period <= 0 {
+		panic("core: periodic sampler needs a positive period")
+	}
+	p.scheduleNext()
+}
+
+// Stop halts future runs after the current one completes.
+func (p *Periodic) Stop() { p.stopped = true }
+
+// Runs returns how many runs completed.
+func (p *Periodic) Runs() int { return p.runs }
+
+func (p *Periodic) scheduleNext() {
+	eng := p.Sampler.host.Engine()
+	eng.After(p.Period, func() {
+		if p.stopped {
+			return
+		}
+		p.Sampler.Attach()
+		p.Sampler.Enable()
+		// User code waits until the expected run time has passed and the
+		// enabled flag clears, then reads and detaches.
+		eng.After(p.Sampler.cfg.Window()+collectGrace, func() {
+			run := p.Sampler.Read()
+			p.Sampler.Detach()
+			p.runs++
+			if p.Store != nil {
+				p.Store(run)
+			}
+			if !p.stopped {
+				p.scheduleNext()
+			}
+		})
+	})
+}

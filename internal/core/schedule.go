@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MultiSchedule rotates Millisampler runs through the three production
+// sampling resolutions (paper §4.1: "we schedule runs with three values:
+// 10ms, 1ms, and 100µs"), all with the fixed 2000-bucket budget, so one host
+// is observed at 20 s, 2 s and 200 ms windows in turn.
+type MultiSchedule struct {
+	// Samplers holds one sampler per resolution, coarsest first.
+	Samplers []*Sampler
+	// Gap is the idle time between the end of one run and the start of the
+	// next.
+	Gap sim.Time
+	// Store receives every harvested run.
+	Store func(*Run)
+
+	stopped bool
+	next    int
+	runs    int
+}
+
+// ProductionIntervals are the three deployed sampling intervals.
+var ProductionIntervals = []sim.Time{
+	10 * sim.Millisecond,
+	sim.Millisecond,
+	100 * sim.Microsecond,
+}
+
+// NewMultiSchedule builds the rotation for one host with the production
+// intervals and 2000 buckets each.
+func NewMultiSchedule(host *netsim.Host, gap sim.Time, store func(*Run)) *MultiSchedule {
+	m := &MultiSchedule{Gap: gap, Store: store}
+	for _, iv := range ProductionIntervals {
+		m.Samplers = append(m.Samplers, NewSampler(host, Config{
+			Interval: iv, Buckets: 2000, CountFlows: true,
+		}))
+	}
+	return m
+}
+
+// Start begins the rotation on the first sampler's engine.
+func (m *MultiSchedule) Start() {
+	if len(m.Samplers) == 0 {
+		panic("core: multi-schedule without samplers")
+	}
+	if m.Gap <= 0 {
+		m.Gap = 10 * sim.Millisecond
+	}
+	m.scheduleNext()
+}
+
+// Stop halts the rotation after the in-flight run.
+func (m *MultiSchedule) Stop() { m.stopped = true }
+
+// Runs returns how many runs completed.
+func (m *MultiSchedule) Runs() int { return m.runs }
+
+func (m *MultiSchedule) scheduleNext() {
+	s := m.Samplers[m.next]
+	m.next = (m.next + 1) % len(m.Samplers)
+	eng := s.host.Engine()
+	eng.After(m.Gap, func() {
+		if m.stopped {
+			return
+		}
+		s.Attach()
+		s.Enable()
+		eng.After(s.cfg.Window()+collectGrace, func() {
+			run := s.Read()
+			s.Detach()
+			m.runs++
+			if m.Store != nil {
+				m.Store(run)
+			}
+			if !m.stopped {
+				m.scheduleNext()
+			}
+		})
+	})
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/transport"
+)
+
+func TestMultiScheduleRotatesIntervals(t *testing.T) {
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 2, Seed: 51})
+	var runs []*Run
+	// Production intervals but only 40 buckets each, so a full rotation
+	// fits in a short test.
+	m := &MultiSchedule{Gap: 5 * sim.Millisecond, Store: func(r *Run) { runs = append(runs, r) }}
+	for _, iv := range ProductionIntervals {
+		m.Samplers = append(m.Samplers, NewSampler(rack.Servers[0], Config{
+			Interval: iv, Buckets: 40, CountFlows: true,
+		}))
+	}
+	m.Start()
+
+	// Continuous traffic so every run starts.
+	c := rack.RemoteEPs[0].Connect(rack.Servers[0].ID, 80, transport.Options{})
+	var feed func()
+	feed = func() {
+		c.Send(8 << 10)
+		rack.Eng.After(2*sim.Millisecond, feed)
+	}
+	rack.Eng.After(0, feed)
+
+	// One full rotation: 10ms*40 + 1ms*40 + 100µs*40 + gaps + grace.
+	rack.Eng.RunUntil(600 * sim.Millisecond)
+	m.Stop()
+
+	if len(runs) < 3 {
+		t.Fatalf("completed %d runs, want a full rotation of 3", len(runs))
+	}
+	want := []sim.Time{10 * sim.Millisecond, sim.Millisecond, 100 * sim.Microsecond}
+	for i := 0; i < 3; i++ {
+		if runs[i].Interval != want[i] {
+			t.Errorf("run %d interval %v, want %v", i, runs[i].Interval, want[i])
+		}
+		if !runs[i].Started {
+			t.Errorf("run %d never started", i)
+		}
+	}
+	if m.Runs() != len(runs) {
+		t.Errorf("Runs() = %d, stored %d", m.Runs(), len(runs))
+	}
+}
+
+func TestMultiScheduleProductionIntervals(t *testing.T) {
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 2, Seed: 52})
+	m := NewMultiSchedule(rack.Servers[0], sim.Millisecond, nil)
+	if len(m.Samplers) != 3 {
+		t.Fatalf("samplers = %d", len(m.Samplers))
+	}
+	for i, s := range m.Samplers {
+		if s.cfg.Interval != ProductionIntervals[i] {
+			t.Errorf("sampler %d interval %v", i, s.cfg.Interval)
+		}
+		if s.cfg.Buckets != 2000 {
+			t.Errorf("sampler %d buckets %d, want the fixed 2000", i, s.cfg.Buckets)
+		}
+	}
+	// Observation windows: 20s, 2s, 200ms.
+	if m.Samplers[0].cfg.Window() != 20*sim.Second ||
+		m.Samplers[1].cfg.Window() != 2*sim.Second ||
+		m.Samplers[2].cfg.Window() != 200*sim.Millisecond {
+		t.Error("windows do not match the paper's 20s/2s/200ms")
+	}
+}
+
+func TestMultiScheduleStartWithoutSamplersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty schedule did not panic")
+		}
+	}()
+	(&MultiSchedule{}).Start()
+}

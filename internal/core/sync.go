@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// ServerSeries is one server's aligned timeseries inside a SyncRun. Values
+// are float64 because alignment interpolates between buckets.
+type ServerSeries struct {
+	Host        netsim.HostID
+	Port        int
+	LineRateBps int64
+	In          []float64
+	InRetx      []float64
+	InECN       []float64
+	Out         []float64
+	OutRetx     []float64
+	Conns       []float64
+}
+
+// Utilization returns sample i's ingress utilization fraction.
+func (s *ServerSeries) Utilization(i int, interval sim.Time) float64 {
+	return s.In[i] * 8 / interval.Seconds() / float64(s.LineRateBps)
+}
+
+// SyncRun is a rack-wide synchronized collection: all servers' Millisampler
+// runs trimmed to their common time window and aligned by linear
+// interpolation onto one uniform timebase (paper §4.4).
+type SyncRun struct {
+	Interval  sim.Time
+	Samples   int
+	StartWall clock.WallTime
+	Servers   []ServerSeries
+}
+
+// Controller is SyncMillisampler's centralized control plane for one rack:
+// it schedules simultaneous Millisampler runs on every server, then fetches
+// and aligns the results.
+type Controller struct {
+	rack     *testbed.Rack
+	cfg      Config
+	samplers []*Sampler
+	runs     []*Run
+	done     bool
+}
+
+// MinLeadTime is how far in advance a sync run must be scheduled. Production
+// schedules far enough ahead that no periodic run will still be active, then
+// prioritizes the sync run (paper §4.4).
+const MinLeadTime = 10 * sim.Millisecond
+
+// collectGrace is how long past the nominal window the controller waits
+// before harvesting, covering scheduling jitter.
+const collectGrace = 5 * sim.Millisecond
+
+// NewController builds a controller for the rack.
+func NewController(rack *testbed.Rack, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{rack: rack, cfg: cfg}
+	for _, h := range rack.Servers {
+		c.samplers = append(c.samplers, NewSampler(h, cfg))
+	}
+	return c
+}
+
+// Schedule arms the rack-wide run to start collecting at time at. The engine
+// must then be driven (with workload traffic) past HarvestAt.
+func (c *Controller) Schedule(at sim.Time) {
+	eng := c.rack.Eng
+	if at < eng.Now()+MinLeadTime {
+		panic(fmt.Sprintf("core: sync run scheduled at %v with insufficient lead (now %v)", at, eng.Now()))
+	}
+	eng.At(at, func() {
+		for _, s := range c.samplers {
+			s.Attach()
+			s.Enable()
+		}
+	})
+	eng.At(c.HarvestAt(at), func() {
+		c.runs = c.runs[:0]
+		for _, s := range c.samplers {
+			c.runs = append(c.runs, s.Read())
+			s.Detach()
+		}
+		c.done = true
+	})
+}
+
+// HarvestAt returns when results for a run scheduled at `at` are collected.
+func (c *Controller) HarvestAt(at sim.Time) sim.Time {
+	return at + c.cfg.Window() + collectGrace
+}
+
+// Done reports whether the scheduled run has been harvested.
+func (c *Controller) Done() bool { return c.done }
+
+// Runs returns the raw per-host runs of the last harvest.
+func (c *Controller) Runs() []*Run { return c.runs }
+
+// Result aligns the harvested runs into a SyncRun.
+func (c *Controller) Result() (*SyncRun, error) {
+	if !c.done {
+		return nil, errors.New("core: sync run not harvested yet")
+	}
+	ports := make([]int, len(c.runs))
+	for i, r := range c.runs {
+		p, ok := c.rack.Port(r.Host)
+		if !ok {
+			return nil, fmt.Errorf("core: run host %d not in rack", r.Host)
+		}
+		ports[i] = p
+	}
+	return Align(c.runs, ports)
+}
+
+// Align trims a set of per-host runs to their common window and linearly
+// interpolates each series onto the uniform timebase starting at the latest
+// per-host start (paper §4.4: "to combine these runs into a single one with
+// uniform timestamps, we use linear interpolation").
+//
+// Unstarted runs (idle hosts) contribute all-zero series and do not
+// constrain the common window.
+func Align(runs []*Run, ports []int) (*SyncRun, error) {
+	if len(runs) == 0 {
+		return nil, errors.New("core: no runs to align")
+	}
+	if len(ports) != len(runs) {
+		return nil, errors.New("core: ports/runs length mismatch")
+	}
+	interval := runs[0].Interval
+	var start, end clock.WallTime
+	first := true
+	for _, r := range runs {
+		if r.Interval != interval {
+			return nil, fmt.Errorf("core: mixed intervals %v and %v", interval, r.Interval)
+		}
+		if !r.Started {
+			continue
+		}
+		if first {
+			start, end = r.StartWall, r.EndWall()
+			first = false
+			continue
+		}
+		if r.StartWall > start {
+			start = r.StartWall
+		}
+		if e := r.EndWall(); e < end {
+			end = e
+		}
+	}
+	if first {
+		return nil, errors.New("core: no run observed any traffic")
+	}
+	samples := int(int64(end-start) / int64(interval))
+	if samples <= 0 {
+		return nil, fmt.Errorf("core: no common window (start %d >= end %d)", start, end)
+	}
+	sr := &SyncRun{Interval: interval, Samples: samples, StartWall: start}
+	for i, r := range runs {
+		ss := ServerSeries{
+			Host:        r.Host,
+			Port:        ports[i],
+			LineRateBps: r.LineRateBps,
+		}
+		if !r.Started {
+			ss.In = make([]float64, samples)
+			ss.InRetx = make([]float64, samples)
+			ss.InECN = make([]float64, samples)
+			ss.Out = make([]float64, samples)
+			ss.OutRetx = make([]float64, samples)
+			ss.Conns = make([]float64, samples)
+			sr.Servers = append(sr.Servers, ss)
+			continue
+		}
+		// Offset of the common origin within this host's bucket grid.
+		off := float64(int64(start-r.StartWall)) / float64(interval)
+		ss.In = interpolate(r.Bytes[CtrIn], off, samples)
+		ss.InRetx = interpolate(r.Bytes[CtrInRetx], off, samples)
+		ss.InECN = interpolate(r.Bytes[CtrInECN], off, samples)
+		ss.Out = interpolate(r.Bytes[CtrOut], off, samples)
+		ss.OutRetx = interpolate(r.Bytes[CtrOutRetx], off, samples)
+		if r.Conns != nil {
+			ss.Conns = interpolateF(r.Conns, off, samples)
+		} else {
+			ss.Conns = make([]float64, samples)
+		}
+		sr.Servers = append(sr.Servers, ss)
+	}
+	return sr, nil
+}
+
+// interpolate resamples src at positions off, off+1, ... producing n values
+// by linear interpolation between adjacent buckets.
+func interpolate(src []uint64, off float64, n int) []float64 {
+	f := make([]float64, len(src))
+	for i, v := range src {
+		f[i] = float64(v)
+	}
+	return interpolateF(f, off, n)
+}
+
+func interpolateF(src []float64, off float64, n int) []float64 {
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		pos := off + float64(j)
+		i := int(pos)
+		frac := pos - float64(i)
+		switch {
+		case i < 0:
+			out[j] = src[0]
+		case i >= len(src)-1:
+			out[j] = src[len(src)-1]
+		default:
+			out[j] = src[i]*(1-frac) + src[i+1]*frac
+		}
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// warmup is how long traffic runs before the sampler window opens, letting
+// persistent connections establish and congestion windows adapt.
+const warmup = 150 * sim.Millisecond
+
+// BurstRec is the compact per-burst record kept in the dataset (the raw
+// SyncRun series are ~2 MB per run and are regenerated on demand instead).
+type BurstRec struct {
+	Server        int16
+	Len           int16 // samples (milliseconds at 1 ms sampling)
+	Volume        float32
+	AvgConns      float32
+	MaxContention int16
+	CAFL          int16 // contention at first loss (lossy bursts only)
+	Lossy         bool
+}
+
+// SwitchDelta is the rack switch's counter movement across the sampling
+// window, the simulated analog of the per-minute production counters.
+type SwitchDelta struct {
+	EnqueuedBytes int64
+	DiscardBytes  int64
+	DiscardSegs   int64
+}
+
+// RunSummary is one rack-hour SyncMillisampler run reduced to what the
+// analyses need.
+type RunSummary struct {
+	Region     string
+	RackID     int
+	Hour       int
+	Samples    int
+	IntervalNs int64
+
+	AvgContention float64
+	P90Contention float64
+	MinActive     int
+	HasActive     bool
+	ShareDrop     float64
+	ShareDropOK   bool
+
+	ServerRuns []analysis.ServerRun
+	Bursts     []BurstRec
+
+	Switch SwitchDelta
+	// IngressPerMin extrapolates the window's rack ingress volume to a
+	// one-minute granularity, mirroring production switch counters.
+	IngressPerMin int64
+}
+
+// WindowSeconds returns the aligned run duration in seconds.
+func (r *RunSummary) WindowSeconds() float64 {
+	return float64(r.Samples) * float64(r.IntervalNs) / 1e9
+}
+
+// RackMeta is per-rack metadata plus the measured classification.
+type RackMeta struct {
+	Region        string
+	ID            int
+	MLDominated   bool
+	Intensity     float64
+	DistinctTasks int
+	DominantShare float64
+
+	// BusyAvgContention is the rack's average contention in the busy-hour
+	// run, the statistic racks are classified by.
+	BusyAvgContention float64
+	Class             Class
+}
+
+// Dataset is a full two-region collection day.
+type Dataset struct {
+	Cfg   Config
+	Racks []RackMeta
+	Runs  []RunSummary
+
+	rackIdx map[string]int
+}
+
+// Rack returns the metadata of one rack.
+func (d *Dataset) Rack(region string, id int) *RackMeta {
+	if d.rackIdx == nil {
+		d.buildIndex()
+	}
+	i, ok := d.rackIdx[rackKey(region, id)]
+	if !ok {
+		return nil
+	}
+	return &d.Racks[i]
+}
+
+func rackKey(region string, id int) string { return fmt.Sprintf("%s/%d", region, id) }
+
+func (d *Dataset) buildIndex() {
+	d.rackIdx = make(map[string]int, len(d.Racks))
+	for i := range d.Racks {
+		d.rackIdx[rackKey(d.Racks[i].Region, d.Racks[i].ID)] = i
+	}
+}
+
+// ClassOf returns the measured class of a run's rack.
+func (d *Dataset) ClassOf(r *RunSummary) Class {
+	if m := d.Rack(r.Region, r.RackID); m != nil {
+		return m.Class
+	}
+	return ClassB
+}
+
+// RunsIn filters runs by class.
+func (d *Dataset) RunsIn(c Class) []*RunSummary {
+	var out []*RunSummary
+	for i := range d.Runs {
+		if d.ClassOf(&d.Runs[i]) == c {
+			out = append(out, &d.Runs[i])
+		}
+	}
+	return out
+}
+
+// RunsInRegion filters runs by region.
+func (d *Dataset) RunsInRegion(region string) []*RunSummary {
+	var out []*RunSummary
+	for i := range d.Runs {
+		if d.Runs[i].Region == region {
+			out = append(out, &d.Runs[i])
+		}
+	}
+	return out
+}
+
+// SimulateRun executes one rack-hour run and returns the aligned SyncRun
+// plus the switch counter delta. It is deterministic in (cfg, spec, hour),
+// which is how raw example runs are regenerated without storing them.
+func SimulateRun(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchDelta, error) {
+	cfg = cfg.withDefaults()
+	rack := testbed.NewRack(testbed.RackConfig{
+		Servers: cfg.ServersPerRack,
+		Remotes: 4 * cfg.ServersPerRack,
+		Seed:    spec.Seed ^ (uint64(hour+1) * 0x9e3779b97f4a7c15),
+	})
+	scale := DiurnalFactor(hour) * spec.Intensity
+	profiles := make([]workload.Profile, len(spec.Profiles))
+	for i, p := range spec.Profiles {
+		profiles[i] = p.Scale(scale)
+	}
+	workload.InstallRack(rack, profiles, rack.RNG.Fork(0x10AD))
+
+	ctrl := core.NewController(rack, core.Config{
+		Interval: cfg.Interval, Buckets: cfg.Buckets, CountFlows: true,
+	})
+	ctrl.Schedule(warmup)
+
+	var before, after SwitchDelta
+	rack.Eng.At(warmup, func() {
+		t := rack.Switch.Totals()
+		before = SwitchDelta{EnqueuedBytes: t.EnqueuedBytes, DiscardBytes: t.DiscardBytes, DiscardSegs: t.DiscardSegments}
+	})
+	rack.Eng.RunUntil(ctrl.HarvestAt(warmup) + sim.Millisecond)
+	t := rack.Switch.Totals()
+	after = SwitchDelta{EnqueuedBytes: t.EnqueuedBytes, DiscardBytes: t.DiscardBytes, DiscardSegs: t.DiscardSegments}
+
+	sr, err := ctrl.Result()
+	if err != nil {
+		return nil, SwitchDelta{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)
+	}
+	delta := SwitchDelta{
+		EnqueuedBytes: after.EnqueuedBytes - before.EnqueuedBytes,
+		DiscardBytes:  after.DiscardBytes - before.DiscardBytes,
+		DiscardSegs:   after.DiscardSegs - before.DiscardSegs,
+	}
+	return sr, delta, nil
+}
+
+// summarize reduces a run to its RunSummary.
+func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) RunSummary {
+	ra := analysis.Analyze(sr, analysis.DefaultOptions())
+	rs := RunSummary{
+		Region:     spec.Region,
+		RackID:     spec.ID,
+		Hour:       hour,
+		Samples:    sr.Samples,
+		IntervalNs: int64(sr.Interval),
+
+		AvgContention: ra.AvgContention(),
+		P90Contention: ra.P90Contention(),
+		ServerRuns:    ra.Servers,
+		Switch:        delta,
+	}
+	rs.MinActive, rs.HasActive = ra.MinActiveContention()
+	rs.ShareDrop, rs.ShareDropOK = ra.BufferShareDrop()
+	for _, b := range ra.Bursts {
+		rs.Bursts = append(rs.Bursts, BurstRec{
+			Server:        int16(b.Server),
+			Len:           int16(b.Len()),
+			Volume:        float32(b.Volume),
+			AvgConns:      float32(b.AvgConns),
+			MaxContention: int16(b.MaxContention),
+			CAFL:          int16(b.ContentionAtFirstLoss),
+			Lossy:         b.Lossy,
+		})
+	}
+	if w := rs.WindowSeconds(); w > 0 {
+		rs.IngressPerMin = int64(float64(delta.EnqueuedBytes) * 60 / w)
+	}
+	return rs
+}
+
+// Generate simulates the full schedule: every rack of both regions, one
+// SyncMillisampler run per configured hour, in parallel across workers.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	racks := BuildRacks(cfg)
+
+	type job struct {
+		rack int
+		hour int
+	}
+	var jobs []job
+	for r := range racks {
+		for _, h := range cfg.Hours {
+			jobs = append(jobs, job{rack: r, hour: h})
+		}
+	}
+
+	runs := make([]RunSummary, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sr, delta, err := SimulateRun(cfg, racks[j.rack], j.hour)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			runs[ji] = summarize(racks[j.rack], j.hour, sr, delta)
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ds := &Dataset{Cfg: cfg, Runs: runs}
+	for _, spec := range racks {
+		ds.Racks = append(ds.Racks, RackMeta{
+			Region:        spec.Region,
+			ID:            spec.ID,
+			MLDominated:   spec.MLDominated,
+			Intensity:     spec.Intensity,
+			DistinctTasks: spec.DistinctTasks(),
+			DominantShare: spec.DominantTaskShare(),
+		})
+	}
+	ds.classify()
+	return ds, nil
+}
+
+// classify labels racks from measured busy-hour contention: the top 20% of
+// RegA racks become RegA-High, exactly as the paper partitions Figure 9.
+func (d *Dataset) classify() {
+	d.buildIndex()
+	// Busy-hour (or nearest sampled hour) average contention per rack.
+	busy := make(map[string]float64)
+	bestDist := make(map[string]int)
+	for i := range d.Runs {
+		r := &d.Runs[i]
+		key := rackKey(r.Region, r.RackID)
+		dist := r.Hour - BusyHour
+		if dist < 0 {
+			dist = -dist
+		}
+		if prev, ok := bestDist[key]; !ok || dist < prev {
+			bestDist[key] = dist
+			busy[key] = r.AvgContention
+		}
+	}
+	var regA []int
+	for i := range d.Racks {
+		m := &d.Racks[i]
+		m.BusyAvgContention = busy[rackKey(m.Region, m.ID)]
+		if m.Region == RegA {
+			regA = append(regA, i)
+			m.Class = ClassATypical
+		} else {
+			m.Class = ClassB
+		}
+	}
+	sort.Slice(regA, func(a, b int) bool {
+		return d.Racks[regA[a]].BusyAvgContention > d.Racks[regA[b]].BusyAvgContention
+	})
+	nHigh := len(regA) / 5
+	for k := 0; k < nHigh; k++ {
+		d.Racks[regA[k]].Class = ClassAHigh
+	}
+}
+
+// FindRack locates the spec of a rack rebuilt from the same config (useful
+// with SimulateRun to regenerate a raw run).
+func FindRack(cfg Config, region string, id int) (RackSpec, bool) {
+	for _, spec := range BuildRacks(cfg) {
+		if spec.Region == region && spec.ID == id {
+			return spec, true
+		}
+	}
+	return RackSpec{}, false
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Task identifies one service job instance; each server runs exactly one
+// task (paper §7.1), and a job may span several servers of a rack.
+type Task struct {
+	Service string
+	Job     int
+}
+
+// String renders "service/job".
+func (t Task) String() string { return fmt.Sprintf("%s/%d", t.Service, t.Job) }
+
+// RackSpec is the generation-time description of one rack: its placement
+// (task per server), traffic profiles, and intensity.
+type RackSpec struct {
+	Region string
+	ID     int
+	// MLDominated is the placement ground truth: a RegA rack whose servers
+	// mostly run the co-located ML job. Measured classification into
+	// RegA-High is done from contention, as in the paper.
+	MLDominated bool
+	// Intensity is RegB's per-rack load multiplier (1 for RegA).
+	Intensity float64
+	// Tasks assigns a task to each server.
+	Tasks []Task
+	// Profiles is the per-server traffic profile (pre-intensity scaling).
+	Profiles []workload.Profile
+	// Seed drives the rack's traffic randomness.
+	Seed uint64
+}
+
+// DistinctTasks counts distinct tasks on the rack (paper Fig. 10).
+func (r *RackSpec) DistinctTasks() int {
+	set := make(map[Task]struct{}, len(r.Tasks))
+	for _, t := range r.Tasks {
+		set[t] = struct{}{}
+	}
+	return len(set)
+}
+
+// DominantTaskShare returns the fraction of servers running the rack's most
+// common task (paper Fig. 11).
+func (r *RackSpec) DominantTaskShare() float64 {
+	counts := make(map[Task]int, len(r.Tasks))
+	max := 0
+	for _, t := range r.Tasks {
+		counts[t]++
+		if counts[t] > max {
+			max = counts[t]
+		}
+	}
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	return float64(max) / float64(len(r.Tasks))
+}
+
+// jobSize draws a job's server count: geometric-ish, mostly 1-4 servers,
+// occasionally up to 12 — yielding ~15 distinct tasks and a ~20-25% dominant
+// share on a 48-server rack, the paper's RegA-Typical regime.
+func jobSize(rng *sim.RNG) int {
+	n := 1
+	for n < 12 && rng.Bool(0.62) {
+		n++
+	}
+	return n
+}
+
+// placeTypical fills servers with weighted typical-service jobs.
+func placeTypical(spec *RackSpec, rng *sim.RNG, job *int) {
+	for i := 0; i < len(spec.Tasks); {
+		prof := workload.PickTypical(rng)
+		size := jobSize(rng)
+		*job++
+		for k := 0; k < size && i < len(spec.Tasks); k++ {
+			spec.Tasks[i] = Task{Service: prof.Name, Job: *job}
+			spec.Profiles[i] = prof
+			i++
+		}
+	}
+}
+
+// placeMLDominated fills a fraction of servers with one big co-located ML
+// job (the paper traces RegA-High to exactly this placement decision) and
+// the rest with typical services.
+func placeMLDominated(spec *RackSpec, rng *sim.RNG, job *int) {
+	frac := 0.6 + 0.4*rng.Float64() // 60-100% of servers run the ML task
+	n := int(frac*float64(len(spec.Tasks)) + 0.5)
+	*job++
+	mlJob := *job
+	for i := 0; i < n; i++ {
+		// Most ML servers are trainers; roughly one in seven is a data
+		// reader whose fresh-connection fan-in is the class's loss source.
+		// Readers belong to the same task (one co-located job).
+		prof := workload.MLTrain
+		if i%7 == 6 {
+			prof = workload.MLReader
+		}
+		spec.Tasks[i] = Task{Service: workload.MLTrain.Name, Job: mlJob}
+		spec.Profiles[i] = prof
+	}
+	rest := &RackSpec{Tasks: spec.Tasks[n:], Profiles: spec.Profiles[n:]}
+	placeTypical(rest, rng, job)
+}
+
+// placeRegB mixes typical services with a rack-dependent amount of the
+// high-duty workload, producing RegB's fairly uniform contention spread
+// (paper Fig. 9) while keeping task diversity high (Fig. 10).
+func placeRegB(spec *RackSpec, rng *sim.RNG, job *int) {
+	// Up to ~55% of servers run ML-style jobs of moderate size.
+	mlServers := int(rng.Float64() * 0.55 * float64(len(spec.Tasks)))
+	i := 0
+	for i < mlServers {
+		size := 4 + rng.Intn(9) // ML jobs span 4-12 servers in RegB
+		*job++
+		for k := 0; k < size && i < mlServers; k++ {
+			spec.Tasks[i] = Task{Service: workload.MLTrain.Name, Job: *job}
+			spec.Profiles[i] = workload.MLTrain
+			i++
+		}
+	}
+	rest := &RackSpec{Tasks: spec.Tasks[mlServers:], Profiles: spec.Profiles[mlServers:]}
+	placeTypical(rest, rng, job)
+}
+
+// BuildRacks lays out both regions' racks for a configuration.
+func BuildRacks(cfg Config) []RackSpec {
+	cfg = cfg.withDefaults()
+	rng := sim.NewRNG(cfg.Seed)
+	var racks []RackSpec
+
+	nHigh := int(cfg.MLRackFraction*float64(cfg.RacksPerRegion) + 0.5)
+	for id := 0; id < cfg.RacksPerRegion; id++ {
+		spec := RackSpec{
+			Region:    RegA,
+			ID:        id,
+			Intensity: 1,
+			Tasks:     make([]Task, cfg.ServersPerRack),
+			Profiles:  make([]workload.Profile, cfg.ServersPerRack),
+			Seed:      rng.Uint64(),
+		}
+		job := 0
+		if id < nHigh {
+			spec.MLDominated = true
+			placeMLDominated(&spec, rng.Fork(uint64(id)), &job)
+		} else {
+			placeTypical(&spec, rng.Fork(uint64(id)), &job)
+		}
+		racks = append(racks, spec)
+	}
+	for id := 0; id < cfg.RacksPerRegion; id++ {
+		spec := RackSpec{
+			Region:    RegB,
+			ID:        id,
+			Intensity: 0.6 + 0.8*rng.Float64(),
+			Tasks:     make([]Task, cfg.ServersPerRack),
+			Profiles:  make([]workload.Profile, cfg.ServersPerRack),
+			Seed:      rng.Uint64(),
+		}
+		job := 0
+		placeRegB(&spec, rng.Fork(uint64(1000+id)), &job)
+		racks = append(racks, spec)
+	}
+	return racks
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"repro/internal/sim"
+)
+
+// Deliver is the continuation a Link invokes when a segment finishes
+// traversing it.
+type Deliver func(seg *Segment)
+
+// Link is a point-to-point serializing link: segments queue behind each other
+// at the line rate and then experience fixed propagation delay. A Link has
+// unbounded FIFO occupancy — bounded buffering belongs to the switch model —
+// so it is used where the sender already paces (NIC egress) or where the
+// paper treats capacity as ample (fabric core).
+type Link struct {
+	eng       *sim.Engine
+	RateBps   int64    // line rate in bits per second; <=0 means infinite
+	PropDelay sim.Time // one-way propagation delay
+
+	busyUntil sim.Time
+	// TxBytes counts bytes accepted for transmission, for utilization checks.
+	TxBytes int64
+
+	// DropRate, when positive, makes the link randomly lose that fraction
+	// of segments — used by robustness tests to exercise transport recovery
+	// independently of switch buffer dynamics.
+	DropRate float64
+	dropRNG  *sim.RNG
+	// Drops counts segments lost to DropRate.
+	Drops int64
+}
+
+// NewLink creates a link on the engine.
+func NewLink(eng *sim.Engine, rateBps int64, prop sim.Time) *Link {
+	return &Link{eng: eng, RateBps: rateBps, PropDelay: prop}
+}
+
+// SerializationDelay returns how long size bytes occupy the link.
+func (l *Link) SerializationDelay(size int) sim.Time {
+	if l.RateBps <= 0 {
+		return 0
+	}
+	return sim.Time(int64(size) * 8 * int64(sim.Second) / l.RateBps)
+}
+
+// Send enqueues seg for transmission and schedules deliver at the time the
+// last bit arrives at the far end.
+func (l *Link) Send(seg *Segment, deliver Deliver) {
+	if l.DropRate > 0 {
+		if l.dropRNG == nil {
+			l.dropRNG = sim.NewRNG(0x11AC + uint64(l.RateBps))
+		}
+		if l.dropRNG.Bool(l.DropRate) {
+			l.Drops++
+			return
+		}
+	}
+	now := l.eng.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + l.SerializationDelay(seg.Size)
+	l.busyUntil = done
+	l.TxBytes += int64(seg.Size)
+	l.eng.At(done+l.PropDelay, func() { deliver(seg) })
+}
+
+// Backlog returns how far in the future the link is already committed,
+// i.e. the local queueing delay a new segment would see.
+func (l *Link) Backlog() sim.Time {
+	now := l.eng.Now()
+	if l.busyUntil <= now {
+		return 0
+	}
+	return l.busyUntil - now
+}

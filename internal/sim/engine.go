@@ -1,0 +1,205 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock with nanosecond resolution and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in scheduling order, which keeps runs fully deterministic for a fixed
+// seed and schedule. All other simulator packages (netsim, switchsim,
+// transport, fleet) are built on top of this engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is intentionally distinct from time.Time: simulated hosts
+// observe wall-clock time only through the clock package, which layers
+// NTP-style offset and drift on top of sim.Time.
+type Time int64
+
+// Common durations expressed in simulation time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns t expressed in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the timestamp as a duration from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a time.Duration to simulation time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Event is a scheduled callback. The callback runs with the engine clock set
+// to the event's deadline.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before it fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At returns the deadline the event was scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; simulated concurrency is expressed as interleaved events.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far, useful for
+// instrumentation and benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it always indicates a logic error in a discrete-event model.
+func (e *Engine) At(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel marks ev as cancelled. A cancelled event stays in the queue but its
+// callback will not run. Cancelling an already-fired event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.cancel = true
+	}
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next pending event, advancing the clock to its deadline.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines at or before end, then advances the
+// clock to exactly end. Events scheduled beyond end remain queued.
+func (e *Engine) RunUntil(end Time) {
+	e.halted = false
+	for !e.halted {
+		ev := e.peek()
+		if ev == nil || ev.at > end {
+			break
+		}
+		e.Step()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// RunFor executes events for a span d of virtual time from the current clock.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancel {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

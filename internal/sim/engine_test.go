@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at the same instant ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterNesting(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) < 5 {
+			e.After(Millisecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != Time(i)*Millisecond {
+			t.Errorf("tick %d at %v, want %v", i, at, Time(i)*Millisecond)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelNil(t *testing.T) {
+	e := NewEngine()
+	e.Cancel(nil) // must not panic
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 10 only", fired)
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now() = %v, want 12 after RunUntil(12)", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("fired %v after second RunUntil, want all 4", fired)
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(5, func() { count++ })
+	e.At(15, func() { count++ })
+	e.RunFor(10)
+	if count != 1 || e.Now() != 10 {
+		t.Errorf("count=%d now=%v, want 1 and 10", count, e.Now())
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Halt() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (halted)", count)
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := Time(0); i < 100; i++ {
+		e.At(i, func() {})
+	}
+	e.Run()
+	if e.Fired() != 100 {
+		t.Errorf("Fired() = %d, want 100", e.Fired())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Duration() != time.Second {
+		t.Errorf("Second.Duration() = %v", Second.Duration())
+	}
+	if FromDuration(3*time.Millisecond) != 3*Millisecond {
+		t.Errorf("FromDuration mismatch")
+	}
+	if got := (2500 * Microsecond).Milliseconds(); got != 2.5 {
+		t.Errorf("Milliseconds() = %v, want 2.5", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+}
+
+// Property: for any set of deadlines, the engine fires them in sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(deadlines []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range deadlines {
+			at := Time(d)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(deadlines) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,35 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleCDF() {
+	c := stats.NewCDF([]float64{1, 2, 2, 3, 8})
+	fmt.Printf("median=%.1f p90=%.1f At(2)=%.1f\n",
+		c.Quantile(50), c.Quantile(90), c.At(2))
+	// Output: median=2.0 p90=6.0 At(2)=0.6
+}
+
+func ExampleRatioBucketed() {
+	// "% of bursts with loss" per 2 ms length bucket, the construction
+	// behind the paper's Figures 16, 18 and 19.
+	rb := stats.NewRatioBucketed(2)
+	rb.Add(1.0, false)
+	rb.Add(1.5, true)
+	rb.Add(5.0, true)
+	for _, p := range rb.Points() {
+		fmt.Printf("[%.0f,%.0f) %.0f%% of %d\n", p.Lo, p.Hi, 100*p.Ratio, p.N)
+	}
+	// Output:
+	// [0,2) 50% of 2
+	// [4,6) 100% of 1
+}
+
+func ExampleSummarize() {
+	b := stats.Summarize([]float64{4, 1, 3, 2, 5})
+	fmt.Printf("min=%v median=%v max=%v\n", b.Min, b.Median, b.Max)
+	// Output: min=1 median=3 max=5
+}

@@ -1,0 +1,104 @@
+package switchsim
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func newPolicySwitch(policy Policy, ports int) (*sim.Engine, *Switch) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(ports)
+	cfg.Policy = policy
+	sw := New(eng, cfg)
+	for p := 0; p < ports; p++ {
+		sw.ConnectPort(p, func(*netsim.Segment) {})
+	}
+	sw.SetUplink(netsim.ForwarderFunc(func(*netsim.Segment) {}))
+	return eng, sw
+}
+
+// overload stuffs one queue with roughly twice the shared pool.
+func overload(sw *Switch, port int) {
+	target := 2 * sw.SharedCap()
+	for sent := 0; sent < target; sent += 9066 {
+		sw.ForwardFromFabric(port, dataSeg(9066, uint16(port)))
+	}
+}
+
+func TestPolicyCompleteAllowsFullPool(t *testing.T) {
+	eng, sw := newPolicySwitch(PolicyComplete, 8)
+	overload(sw, 0)
+	peak := sw.QueueStats(0).PeakBytes
+	// Complete sharing lets a lone queue take (nearly) the whole pool plus
+	// its dedicated reserve.
+	wantMin := sw.SharedCap() - 9066
+	if peak < wantMin {
+		t.Errorf("complete-sharing peak %d below pool size %d", peak, wantMin)
+	}
+	eng.Run()
+}
+
+func TestPolicyStaticEnforcesQuota(t *testing.T) {
+	eng, sw := newPolicySwitch(PolicyStatic, 16)
+	overload(sw, 0)
+	peak := sw.QueueStats(0).PeakBytes
+	quota := sw.SharedCap()/4 /* 16 ports, 4 quadrants -> 4 queues/quadrant */ +
+		sw.Config().DedicatedPerQueue
+	if peak > quota+9066 {
+		t.Errorf("static-partition peak %d exceeds quota %d", peak, quota)
+	}
+	eng.Run()
+}
+
+func TestPolicyOrderingUnderOverload(t *testing.T) {
+	// Burst absorption headroom for a lone queue: complete > DT > static.
+	// (16 ports: static quota Cap/4 < DT lone-queue share Cap/2 < Cap.)
+	peaks := map[Policy]int{}
+	for _, pol := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+		eng, sw := newPolicySwitch(pol, 16)
+		overload(sw, 0)
+		peaks[pol] = sw.QueueStats(0).PeakBytes
+		eng.Run()
+	}
+	if !(peaks[PolicyComplete] > peaks[PolicyDT] && peaks[PolicyDT] > peaks[PolicyStatic]) {
+		t.Errorf("peak ordering violated: complete=%d dt=%d static=%d",
+			peaks[PolicyComplete], peaks[PolicyDT], peaks[PolicyStatic])
+	}
+}
+
+func TestPolicyStringNames(t *testing.T) {
+	names := map[Policy]string{
+		PolicyDT:       "dynamic-threshold",
+		PolicyStatic:   "static-partition",
+		PolicyComplete: "complete-sharing",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestPoliciesNeverOverflowPool(t *testing.T) {
+	for _, pol := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+		eng, sw := newPolicySwitch(pol, 8)
+		rng := sim.NewRNG(uint64(pol) + 1)
+		for i := 0; i < 3000; i++ {
+			port := rng.Intn(8)
+			sw.ForwardFromFabric(port, dataSeg(rng.Intn(9000)+66, uint16(port)))
+			for q := 0; q < sw.Config().Quadrants; q++ {
+				if sw.SharedUsed(q) > sw.SharedCap() {
+					t.Fatalf("%v: quadrant %d overflow", pol, q)
+				}
+			}
+		}
+		eng.Run()
+		for q := 0; q < sw.Config().Quadrants; q++ {
+			if sw.SharedUsed(q) != 0 {
+				t.Errorf("%v: quadrant %d not drained", pol, q)
+			}
+		}
+	}
+}

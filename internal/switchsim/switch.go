@@ -1,0 +1,395 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Policy selects the shared-buffer admission discipline. The studied fleet
+// runs dynamic thresholds (Choudhury–Hahne); the alternatives bound the
+// design space the paper's §9 discussion positions DT within, and back the
+// buffer-sharing policy ablation.
+type Policy int
+
+const (
+	// PolicyDT is the production dynamic-threshold policy:
+	// T(t) = alpha * (shared capacity - shared occupancy).
+	PolicyDT Policy = iota
+	// PolicyStatic partitions the shared pool equally among the quadrant's
+	// queues: maximal isolation, no burst absorption headroom.
+	PolicyStatic
+	// PolicyComplete admits any segment while the pool has room: maximal
+	// absorption, no isolation (one queue can starve the quadrant).
+	PolicyComplete
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyDT:
+		return "dynamic-threshold"
+	case PolicyStatic:
+		return "static-partition"
+	default:
+		return "complete-sharing"
+	}
+}
+
+// Config parameterizes a ToR switch. The defaults mirror the switch class the
+// paper studies (§3): 16 MB buffer in four 4 MB quadrants, most of each
+// quadrant shared, alpha = 1, and a 120 KB static ECN threshold.
+type Config struct {
+	// Policy selects the shared-buffer admission discipline (default DT).
+	Policy Policy
+	// Ports is the number of server-facing downlinks; each maps to exactly
+	// one egress queue (each server gets its own queue).
+	Ports int
+	// TotalBuffer is the packet buffer size in bytes (default 16 MB).
+	TotalBuffer int
+	// Quadrants is the number of independent shared pools (default 4). An
+	// egress queue maps to a quadrant as a function of its port index.
+	Quadrants int
+	// DedicatedPerQueue is the reserve each queue owns outside the shared
+	// pool (default sized so each quadrant's shared pool is about 3.6 MB).
+	DedicatedPerQueue int
+	// Alpha is the DT parameter (default 1: a lone queue may take half the
+	// free shared buffer).
+	Alpha float64
+	// ECNThreshold is the static per-queue marking threshold in bytes
+	// (default 120 KB, the fleet-wide production setting).
+	ECNThreshold int
+	// DownlinkRateBps is each server-facing port's line rate (default
+	// 12.5 Gbps).
+	DownlinkRateBps int64
+	// DownlinkProp is the ToR-to-server propagation delay.
+	DownlinkProp sim.Time
+}
+
+// DefaultConfig returns the production-mirroring configuration for a rack
+// with the given number of server ports.
+func DefaultConfig(ports int) Config {
+	return Config{
+		Ports:             ports,
+		TotalBuffer:       16 << 20,
+		Quadrants:         4,
+		DedicatedPerQueue: 0, // derived in New: quadrant size minus 3.6 MB shared
+		Alpha:             1.0,
+		ECNThreshold:      120 << 10,
+		DownlinkRateBps:   netsim.DefaultServerRateBps,
+		DownlinkProp:      2 * sim.Microsecond,
+	}
+}
+
+// queue is one egress queue: the FIFO toward a single server.
+type queue struct {
+	port     int
+	quadrant int
+
+	fifo  []*netsim.Segment
+	bytes int // total occupancy (dedicated + shared portions)
+
+	dedicatedCap  int
+	dedicatedUsed int
+	sharedUsed    int
+
+	busy bool // a departure event is in flight
+
+	stats QueueStats
+}
+
+// QueueStats are the cumulative per-queue counters the switch exposes; the
+// production analog is the per-queue congestion-discard and traffic counters
+// polled at one-minute granularity (paper Figs. 14, 17).
+type QueueStats struct {
+	EnqueuedBytes    int64
+	EnqueuedSegments int64
+	DiscardBytes     int64
+	DiscardSegments  int64
+	ECNMarkedBytes   int64
+	ECNMarkedSegs    int64
+	DequeuedBytes    int64
+	PeakBytes        int
+}
+
+// Switch is a shared-memory ToR.
+type Switch struct {
+	cfg               Config
+	eng               *sim.Engine
+	queuesPerQuadrant int
+	queues            []*queue
+	pools             []*DT
+	links             []*netsim.Link
+	sinks             []netsim.Deliver // per-port delivery into the server host
+
+	uplink netsim.Forwarder // toward the fabric, for server egress traffic
+
+	groups map[netsim.GroupID][]int // multicast subscriptions: group -> ports
+
+	// TotalDiscards aggregates drops across queues for quick health checks.
+	TotalDiscards int64
+}
+
+// New builds a switch. Per-port sinks must be wired with ConnectPort before
+// traffic flows.
+func New(eng *sim.Engine, cfg Config) *Switch {
+	if cfg.Ports <= 0 {
+		panic("switchsim: switch needs at least one port")
+	}
+	if cfg.TotalBuffer <= 0 {
+		cfg.TotalBuffer = 16 << 20
+	}
+	if cfg.Quadrants <= 0 {
+		cfg.Quadrants = 4
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1.0
+	}
+	if cfg.ECNThreshold == 0 {
+		cfg.ECNThreshold = 120 << 10
+	}
+	if cfg.DownlinkRateBps == 0 {
+		cfg.DownlinkRateBps = netsim.DefaultServerRateBps
+	}
+	quadSize := cfg.TotalBuffer / cfg.Quadrants
+	queuesPerQuad := (cfg.Ports + cfg.Quadrants - 1) / cfg.Quadrants
+	if cfg.DedicatedPerQueue == 0 {
+		// Paper: "a small amount is made available as dedicated buffer for
+		// each queue, and the rest, about 3.6MB, is shared". Derive the
+		// dedicated reserve from that shared target.
+		sharedTarget := 3600 << 10
+		if quadSize > sharedTarget && queuesPerQuad > 0 {
+			cfg.DedicatedPerQueue = (quadSize - sharedTarget) / queuesPerQuad
+		} else {
+			cfg.DedicatedPerQueue = 16 << 10
+		}
+	}
+	sharedCap := quadSize - cfg.DedicatedPerQueue*queuesPerQuad
+	if sharedCap <= 0 {
+		panic(fmt.Sprintf("switchsim: dedicated reserves (%d x %d) exceed quadrant size %d",
+			cfg.DedicatedPerQueue, queuesPerQuad, quadSize))
+	}
+
+	sw := &Switch{
+		cfg:               cfg,
+		eng:               eng,
+		queuesPerQuadrant: queuesPerQuad,
+		queues:            make([]*queue, cfg.Ports),
+		pools:             make([]*DT, cfg.Quadrants),
+		links:             make([]*netsim.Link, cfg.Ports),
+		sinks:             make([]netsim.Deliver, cfg.Ports),
+		groups:            make(map[netsim.GroupID][]int),
+	}
+	for q := 0; q < cfg.Quadrants; q++ {
+		sw.pools[q] = &DT{Alpha: cfg.Alpha, Cap: sharedCap}
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		sw.queues[p] = &queue{
+			port:         p,
+			quadrant:     p % cfg.Quadrants,
+			dedicatedCap: cfg.DedicatedPerQueue,
+		}
+		sw.links[p] = netsim.NewLink(eng, cfg.DownlinkRateBps, cfg.DownlinkProp)
+	}
+	return sw
+}
+
+// Config returns the effective configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// SharedCap returns one quadrant's shared pool capacity in bytes.
+func (s *Switch) SharedCap() int { return s.pools[0].Cap }
+
+// ConnectPort wires downlink port p to a delivery function (normally the
+// server host's Inject).
+func (s *Switch) ConnectPort(p int, deliver netsim.Deliver) {
+	s.sinks[p] = deliver
+}
+
+// SetUplink wires the fabric-facing path used by server egress traffic.
+func (s *Switch) SetUplink(f netsim.Forwarder) { s.uplink = f }
+
+// Subscribe adds port p to a rack-local multicast group.
+func (s *Switch) Subscribe(group netsim.GroupID, p int) {
+	s.groups[group] = append(s.groups[group], p)
+}
+
+// ForwardFromFabric accepts a segment arriving from the fabric destined to a
+// downlink port. This is the congested direction the paper analyzes.
+func (s *Switch) ForwardFromFabric(port int, seg *netsim.Segment) {
+	if seg.Is(netsim.FlagMulticast) {
+		s.replicate(seg)
+		return
+	}
+	s.enqueue(port, seg)
+}
+
+// ForwardFromServer accepts server egress traffic and forwards it into the
+// fabric. Uplinks are modeled uncongested: the paper observes that most
+// congestion in this fleet is on the server-link, and ECN is deployed only on
+// the ToR (§3); fabric effects are modeled by the fabric's delay/smoothing.
+func (s *Switch) ForwardFromServer(seg *netsim.Segment) {
+	if s.uplink == nil {
+		panic("switchsim: switch has no uplink")
+	}
+	if seg.Is(netsim.FlagMulticast) {
+		// Rack-local multicast loops straight back down to subscribers.
+		s.replicate(seg)
+		return
+	}
+	s.uplink.Forward(seg)
+}
+
+// replicate copies a multicast segment into every subscribed queue.
+func (s *Switch) replicate(seg *netsim.Segment) {
+	for _, p := range s.groups[seg.Group] {
+		cp := *seg
+		cp.EnqueuedShared = 0
+		s.enqueue(p, &cp)
+	}
+}
+
+func (s *Switch) enqueue(port int, seg *netsim.Segment) {
+	if port < 0 || port >= len(s.queues) {
+		panic(fmt.Sprintf("switchsim: no such port %d", port))
+	}
+	q := s.queues[port]
+	pool := s.pools[q.quadrant]
+
+	// Admission: spend the queue's dedicated reserve first, then ask the
+	// configured sharing policy for the remainder. A segment is dropped
+	// whole — the cell-level partial-admit real ASICs do is below our
+	// granularity.
+	fromDedicated := q.dedicatedCap - q.dedicatedUsed
+	if fromDedicated > seg.Size {
+		fromDedicated = seg.Size
+	}
+	needShared := seg.Size - fromDedicated
+	if needShared > 0 && !s.admitShared(pool, q, needShared) {
+		q.stats.DiscardBytes += int64(seg.Size)
+		q.stats.DiscardSegments++
+		s.TotalDiscards++
+		return
+	}
+	q.dedicatedUsed += fromDedicated
+	q.sharedUsed += needShared
+	seg.EnqueuedShared = needShared
+	q.bytes += seg.Size
+	if q.bytes > q.stats.PeakBytes {
+		q.stats.PeakBytes = q.bytes
+	}
+	q.stats.EnqueuedBytes += int64(seg.Size)
+	q.stats.EnqueuedSegments++
+
+	// Static-threshold ECN marking on enqueue, production style.
+	if q.bytes >= s.cfg.ECNThreshold && seg.Is(netsim.FlagECT) {
+		seg.Flags |= netsim.FlagCE
+		q.stats.ECNMarkedBytes += int64(seg.Size)
+		q.stats.ECNMarkedSegs++
+	}
+
+	q.fifo = append(q.fifo, seg)
+	if !q.busy {
+		s.startDrain(q)
+	}
+}
+
+// admitShared applies the configured policy to a request for size bytes of
+// a quadrant's shared pool by a queue currently holding q.sharedUsed.
+func (s *Switch) admitShared(pool *DT, q *queue, size int) bool {
+	switch s.cfg.Policy {
+	case PolicyStatic:
+		quota := pool.Cap / s.queuesPerQuadrant
+		if q.sharedUsed+size > quota || pool.Used+size > pool.Cap {
+			return false
+		}
+		pool.Used += size
+		return true
+	case PolicyComplete:
+		if pool.Used+size > pool.Cap {
+			return false
+		}
+		pool.Used += size
+		return true
+	default:
+		return pool.Admit(q.sharedUsed, size)
+	}
+}
+
+// startDrain launches the departure loop for a newly busy queue.
+func (s *Switch) startDrain(q *queue) {
+	q.busy = true
+	s.drainNext(q)
+}
+
+func (s *Switch) drainNext(q *queue) {
+	if len(q.fifo) == 0 {
+		q.busy = false
+		return
+	}
+	seg := q.fifo[0]
+	link := s.links[q.port]
+	tx := link.SerializationDelay(seg.Size)
+	s.eng.After(tx, func() {
+		// Transmission complete: free the buffer cell, hand the segment to
+		// the propagation stage, continue with the next segment.
+		q.fifo[0] = nil
+		q.fifo = q.fifo[1:]
+		q.bytes -= seg.Size
+		q.dedicatedUsed -= seg.Size - seg.EnqueuedShared
+		if seg.EnqueuedShared > 0 {
+			s.pools[q.quadrant].Release(seg.EnqueuedShared)
+			q.sharedUsed -= seg.EnqueuedShared
+		}
+		q.stats.DequeuedBytes += int64(seg.Size)
+		// Deliver synchronously: the downlink propagation delay (a couple of
+		// microseconds of fiber) is folded into this event rather than
+		// costing a second event per segment; at 1 ms sampling buckets the
+		// shift is invisible and the drain rate stays exact.
+		if sink := s.sinks[q.port]; sink != nil {
+			sink(seg)
+		}
+		s.drainNext(q)
+	})
+}
+
+// QueueBytes returns port p's instantaneous occupancy.
+func (s *Switch) QueueBytes(p int) int { return s.queues[p].bytes }
+
+// QueueStats returns a copy of port p's cumulative counters.
+func (s *Switch) QueueStats(p int) QueueStats { return s.queues[p].stats }
+
+// SharedUsed returns the occupancy of quadrant q's shared pool.
+func (s *Switch) SharedUsed(q int) int { return s.pools[q].Used }
+
+// Threshold returns the instantaneous DT limit seen by port p's queue.
+func (s *Switch) Threshold(p int) int {
+	return s.pools[s.queues[p].quadrant].Threshold()
+}
+
+// ActiveQueues counts queues with at least one buffered segment, per quadrant
+// if quadrant >= 0, or switch-wide for quadrant < 0.
+func (s *Switch) ActiveQueues(quadrant int) int {
+	n := 0
+	for _, q := range s.queues {
+		if q.bytes > 0 && (quadrant < 0 || q.quadrant == quadrant) {
+			n++
+		}
+	}
+	return n
+}
+
+// Totals sums the per-queue stats switch-wide.
+func (s *Switch) Totals() QueueStats {
+	var t QueueStats
+	for _, q := range s.queues {
+		t.EnqueuedBytes += q.stats.EnqueuedBytes
+		t.EnqueuedSegments += q.stats.EnqueuedSegments
+		t.DiscardBytes += q.stats.DiscardBytes
+		t.DiscardSegments += q.stats.DiscardSegments
+		t.ECNMarkedBytes += q.stats.ECNMarkedBytes
+		t.ECNMarkedSegs += q.stats.ECNMarkedSegs
+		t.DequeuedBytes += q.stats.DequeuedBytes
+	}
+	return t
+}

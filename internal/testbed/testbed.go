@@ -1,0 +1,189 @@
+// Package testbed assembles complete simulated rack topologies: servers
+// behind a shared-buffer ToR, fabric-side remote hosts, transport endpoints,
+// and synchronized host clocks. It is the substrate every experiment,
+// example, and fleet run builds on.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/transport"
+)
+
+// RackConfig parameterizes one rack testbed.
+type RackConfig struct {
+	// Servers is the number of rack servers (each with its own ToR queue).
+	Servers int
+	// Remotes is the pool of fabric-side hosts available as traffic peers.
+	Remotes int
+	// Cores is the simulated CPU core count per server (Millisampler's
+	// per-CPU dimension).
+	Cores int
+	// ServerRateBps is the per-server allocated link rate (default
+	// 12.5 Gbps, the studied server class).
+	ServerRateBps int64
+	// RemoteRateBps is each remote host's NIC rate (default 25 Gbps).
+	RemoteRateBps int64
+	// FabricDelay is the one-way delay across the fabric between the ToR
+	// and a remote host (default 10 µs).
+	FabricDelay sim.Time
+	// Switch optionally overrides the ToR configuration; zero fields take
+	// the production defaults for the rack's server count.
+	Switch switchsim.Config
+	// ClockModel is the host time-synchronization quality (default: the
+	// paper's sub-millisecond NTP deployment).
+	ClockModel clock.SyncModel
+	// Seed drives all randomness in the rack.
+	Seed uint64
+}
+
+func (c RackConfig) withDefaults() RackConfig {
+	if c.Servers <= 0 {
+		c.Servers = 16
+	}
+	if c.Remotes <= 0 {
+		c.Remotes = 4 * c.Servers
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.ServerRateBps == 0 {
+		c.ServerRateBps = netsim.DefaultServerRateBps
+	}
+	if c.RemoteRateBps == 0 {
+		c.RemoteRateBps = 25_000_000_000
+	}
+	if c.FabricDelay == 0 {
+		c.FabricDelay = 10 * sim.Microsecond
+	}
+	if c.ClockModel == (clock.SyncModel{}) {
+		c.ClockModel = clock.DefaultSyncModel()
+	}
+	return c
+}
+
+// RemoteIDBase offsets remote host IDs so they never collide with server
+// indices.
+const RemoteIDBase netsim.HostID = 1 << 16
+
+// Rack is an assembled topology.
+type Rack struct {
+	Cfg    RackConfig
+	Eng    *sim.Engine
+	RNG    *sim.RNG
+	Switch *switchsim.Switch
+
+	Servers   []*netsim.Host
+	ServerEPs []*transport.Endpoint
+	Remotes   []*netsim.Host
+	RemoteEPs []*transport.Endpoint
+
+	portOf map[netsim.HostID]int
+}
+
+// NewRack builds a rack testbed.
+func NewRack(cfg RackConfig) *Rack {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+
+	swCfg := cfg.Switch
+	if swCfg.Ports == 0 {
+		swCfg = switchsim.DefaultConfig(cfg.Servers)
+		swCfg.DownlinkRateBps = cfg.ServerRateBps
+	}
+	sw := switchsim.New(eng, swCfg)
+
+	r := &Rack{
+		Cfg:    cfg,
+		Eng:    eng,
+		RNG:    rng,
+		Switch: sw,
+		portOf: make(map[netsim.HostID]int, cfg.Servers),
+	}
+
+	clockRNG := rng.Fork(0xC10C)
+	for i := 0; i < cfg.Servers; i++ {
+		hc := clock.NewHost(cfg.ClockModel, clockRNG)
+		hc.StartDaemon(eng, cfg.ClockModel, clockRNG)
+		h := netsim.NewHost(eng, netsim.HostConfig{
+			ID:          netsim.HostID(i),
+			Cores:       cfg.Cores,
+			LinkRateBps: cfg.ServerRateBps,
+			Clock:       hc,
+		})
+		h.SetForwarder(netsim.ForwarderFunc(sw.ForwardFromServer))
+		sw.ConnectPort(i, h.Inject)
+		r.portOf[h.ID] = i
+		r.Servers = append(r.Servers, h)
+		r.ServerEPs = append(r.ServerEPs, transport.NewEndpoint(h))
+	}
+	for i := 0; i < cfg.Remotes; i++ {
+		h := netsim.NewHost(eng, netsim.HostConfig{
+			ID:          RemoteIDBase + netsim.HostID(i),
+			Cores:       cfg.Cores,
+			LinkRateBps: cfg.RemoteRateBps,
+		})
+		h.SetForwarder(netsim.ForwarderFunc(r.routeFromRemote))
+		r.Remotes = append(r.Remotes, h)
+		r.RemoteEPs = append(r.RemoteEPs, transport.NewEndpoint(h))
+	}
+	sw.SetUplink(netsim.ForwarderFunc(r.routeFromUplink))
+	return r
+}
+
+// Port returns the ToR downlink port of a rack server.
+func (r *Rack) Port(id netsim.HostID) (int, bool) {
+	p, ok := r.portOf[id]
+	return p, ok
+}
+
+// routeFromUplink carries traffic leaving rack servers. Rack-local unicast
+// hairpins at the ToR back down the destination's queue; everything else
+// crosses the fabric, which is modeled uncongested: the paper observes that
+// most congestion in this fleet occurs on the server-link, and ECN is
+// operational only on the ToR (§3).
+func (r *Rack) routeFromUplink(seg *netsim.Segment) {
+	dst := seg.Flow.Dst
+	if port, ok := r.portOf[dst]; ok {
+		r.Switch.ForwardFromFabric(port, seg)
+		return
+	}
+	if dst >= RemoteIDBase {
+		idx := int(dst - RemoteIDBase)
+		if idx < 0 || idx >= len(r.Remotes) {
+			panic(fmt.Sprintf("testbed: no such remote %d", dst))
+		}
+		h := r.Remotes[idx]
+		r.Eng.After(r.Cfg.FabricDelay, func() { h.Inject(seg) })
+		return
+	}
+	panic(fmt.Sprintf("testbed: unroutable destination %d", dst))
+}
+
+// routeFromRemote carries remote-host egress: to a rack server via the
+// fabric and the ToR (where contention happens), or to another remote.
+func (r *Rack) routeFromRemote(seg *netsim.Segment) {
+	if seg.Is(netsim.FlagMulticast) {
+		r.Eng.After(r.Cfg.FabricDelay, func() { r.Switch.ForwardFromFabric(0, seg) })
+		return
+	}
+	dst := seg.Flow.Dst
+	if port, ok := r.portOf[dst]; ok {
+		r.Eng.After(r.Cfg.FabricDelay, func() { r.Switch.ForwardFromFabric(port, seg) })
+		return
+	}
+	if dst >= RemoteIDBase {
+		idx := int(dst - RemoteIDBase)
+		if idx >= 0 && idx < len(r.Remotes) {
+			h := r.Remotes[idx]
+			r.Eng.After(2*r.Cfg.FabricDelay, func() { h.Inject(seg) })
+			return
+		}
+	}
+	panic(fmt.Sprintf("testbed: unroutable destination %d", dst))
+}

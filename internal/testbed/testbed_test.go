@@ -1,0 +1,140 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestDefaultsApplied(t *testing.T) {
+	r := NewRack(RackConfig{Seed: 1})
+	if len(r.Servers) != 16 {
+		t.Errorf("default servers = %d", len(r.Servers))
+	}
+	if len(r.Remotes) != 64 {
+		t.Errorf("default remotes = %d", len(r.Remotes))
+	}
+	if r.Servers[0].LineRateBps() != netsim.DefaultServerRateBps {
+		t.Errorf("server rate = %d", r.Servers[0].LineRateBps())
+	}
+	if r.Servers[0].Cores != 4 {
+		t.Errorf("cores = %d", r.Servers[0].Cores)
+	}
+}
+
+func TestPortMapping(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 8, Seed: 2})
+	for i, h := range r.Servers {
+		p, ok := r.Port(h.ID)
+		if !ok || p != i {
+			t.Errorf("server %d mapped to port %d,%v", i, p, ok)
+		}
+	}
+	if _, ok := r.Port(RemoteIDBase); ok {
+		t.Error("remote host has a downlink port")
+	}
+}
+
+func TestRemoteToServerPath(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 4, Seed: 3})
+	var arrived []sim.Time
+	r.Servers[2].SetProtocolHandler(func(seg *netsim.Segment) {
+		arrived = append(arrived, r.Eng.Now())
+	})
+	seg := &netsim.Segment{
+		Flow: netsim.FlowKey{Src: r.Remotes[0].ID, Dst: r.Servers[2].ID, SrcPort: 1, DstPort: 2},
+		Size: 9000,
+	}
+	r.Remotes[0].Send(seg)
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	if len(arrived) != 1 {
+		t.Fatalf("delivered %d times", len(arrived))
+	}
+	// NIC serialization (9000B at 25G = 2.88µs) + fabric 10µs + ToR drain
+	// (9000B at 12.5G = 5.76µs): at least 18µs.
+	if arrived[0] < 18*sim.Microsecond || arrived[0] > 100*sim.Microsecond {
+		t.Errorf("arrival at %v outside plausible path latency", arrived[0])
+	}
+	if r.Switch.QueueStats(2).EnqueuedSegments != 1 {
+		t.Error("segment did not pass through the ToR queue")
+	}
+}
+
+func TestServerToRemotePathSkipsQueues(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 4, Seed: 4})
+	got := 0
+	r.Remotes[1].SetProtocolHandler(func(*netsim.Segment) { got++ })
+	seg := &netsim.Segment{
+		Flow: netsim.FlowKey{Src: r.Servers[0].ID, Dst: r.Remotes[1].ID, SrcPort: 1, DstPort: 2},
+		Size: 9000,
+	}
+	r.Servers[0].Send(seg)
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	if got != 1 {
+		t.Fatalf("delivered %d times", got)
+	}
+	for p := 0; p < 4; p++ {
+		if r.Switch.QueueStats(p).EnqueuedSegments != 0 {
+			t.Error("uplink traffic traversed a downlink queue")
+		}
+	}
+}
+
+func TestRackLocalHairpin(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 4, Seed: 5})
+	got := 0
+	r.Servers[3].SetProtocolHandler(func(*netsim.Segment) { got++ })
+	seg := &netsim.Segment{
+		Flow: netsim.FlowKey{Src: r.Servers[0].ID, Dst: r.Servers[3].ID, SrcPort: 1, DstPort: 2},
+		Size: 5000,
+	}
+	r.Servers[0].Send(seg)
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	if got != 1 {
+		t.Fatalf("delivered %d times", got)
+	}
+	if r.Switch.QueueStats(3).EnqueuedSegments != 1 {
+		t.Error("rack-local traffic skipped the destination queue")
+	}
+}
+
+func TestRemoteToRemotePath(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 4, Seed: 6})
+	got := 0
+	r.Remotes[2].SetProtocolHandler(func(*netsim.Segment) { got++ })
+	seg := &netsim.Segment{
+		Flow: netsim.FlowKey{Src: r.Remotes[0].ID, Dst: r.Remotes[2].ID, SrcPort: 1, DstPort: 2},
+		Size: 1000,
+	}
+	r.Remotes[0].Send(seg)
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	if got != 1 {
+		t.Fatalf("delivered %d times", got)
+	}
+}
+
+func TestUnroutableDestinationPanics(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 2, Remotes: 2, Seed: 7})
+	defer func() {
+		if recover() == nil {
+			t.Error("unroutable destination did not panic")
+		}
+	}()
+	seg := &netsim.Segment{
+		Flow: netsim.FlowKey{Src: r.Remotes[0].ID, Dst: 9999, SrcPort: 1, DstPort: 2},
+		Size: 100,
+	}
+	r.routeFromRemote(seg)
+}
+
+func TestDeterministicTopology(t *testing.T) {
+	a := NewRack(RackConfig{Servers: 4, Seed: 42})
+	b := NewRack(RackConfig{Servers: 4, Seed: 42})
+	// Same seed => same clock offsets.
+	for i := range a.Servers {
+		if a.Servers[i].Clock.Offset(0) != b.Servers[i].Clock.Offset(0) {
+			t.Fatal("clock offsets differ across identical builds")
+		}
+	}
+}

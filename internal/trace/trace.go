@@ -1,0 +1,127 @@
+// Package trace persists measurement data: gzip-compressed gob encoding for
+// datasets, and a host-local run store with retention, mirroring the
+// production tool's "compressed and stored on the host for about a week"
+// behaviour (paper §4.2).
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Save writes v to path as gzip-compressed gob. Parent directories are
+// created as needed.
+func Save(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return fmt.Errorf("trace: encode %s: %w", path, err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads gzip-compressed gob from path into v.
+func Load(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("trace: %s: %w", path, err)
+	}
+	defer zr.Close()
+	if err := gob.NewDecoder(zr).Decode(v); err != nil {
+		return fmt.Errorf("trace: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Store is a host-local directory of sequentially numbered run files with a
+// bounded retention count (oldest evicted first).
+type Store struct {
+	dir    string
+	keep   int
+	nextID int
+}
+
+// NewStore opens (creating if needed) a store that retains at most keep
+// runs.
+func NewStore(dir string, keep int) (*Store, error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	s := &Store{dir: dir, keep: keep}
+	ids, err := s.ids()
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) > 0 {
+		s.nextID = ids[len(ids)-1] + 1
+	}
+	return s, nil
+}
+
+func (s *Store) path(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("run-%08d.gob.gz", id))
+}
+
+func (s *Store) ids() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), "run-%d.gob.gz", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Put stores one run and applies retention.
+func (s *Store) Put(v any) (int, error) {
+	id := s.nextID
+	if err := Save(s.path(id), v); err != nil {
+		return 0, err
+	}
+	s.nextID++
+	ids, err := s.ids()
+	if err != nil {
+		return id, err
+	}
+	for len(ids) > s.keep {
+		if err := os.Remove(s.path(ids[0])); err != nil {
+			return id, fmt.Errorf("trace: evict: %w", err)
+		}
+		ids = ids[1:]
+	}
+	return id, nil
+}
+
+// Get loads run id into v.
+func (s *Store) Get(id int, v any) error { return Load(s.path(id), v) }
+
+// IDs lists retained run ids in ascending order.
+func (s *Store) IDs() ([]int, error) { return s.ids() }

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	Name string
+	Vals []float64
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "data.gob.gz")
+	in := rec{Name: "x", Vals: []float64{1, 2.5, -3}}
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Vals) != 3 || out.Vals[1] != 2.5 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var out rec
+	if err := Load(filepath.Join(t.TempDir(), "nope"), &out); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestStorePutGetRetention(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Put(rec{Name: "r", Vals: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("retained %d runs, want 3", len(ids))
+	}
+	if ids[0] != 2 || ids[2] != 4 {
+		t.Errorf("retained ids %v, want oldest evicted", ids)
+	}
+	var out rec
+	if err := s.Get(ids[2], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Vals[0] != 4 {
+		t.Errorf("got %+v", out)
+	}
+	if err := s.Get(0, &out); err == nil {
+		t.Error("evicted run still readable")
+	}
+}
+
+func TestStoreResumesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := NewStore(dir, 10)
+	id1, _ := s1.Put(rec{Name: "a"})
+	s2, err := NewStore(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s2.Put(rec{Name: "b"})
+	if id2 != id1+1 {
+		t.Errorf("numbering did not resume: %d then %d", id1, id2)
+	}
+}

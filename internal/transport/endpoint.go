@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Endpoint is the transport stack of one host: it demultiplexes incoming
+// segments to connections and originates new ones. Install exactly one
+// Endpoint per host; it registers itself as the host's protocol handler.
+type Endpoint struct {
+	host     *netsim.Host
+	eng      *sim.Engine
+	conns    map[netsim.FlowKey]*Conn // keyed by the data-direction flow
+	nextPort uint16
+
+	// OnAccept, if set, fires when a passive connection is created by an
+	// incoming SYN, letting the application attach OnReceive.
+	OnAccept func(c *Conn)
+}
+
+// NewEndpoint attaches a transport stack to host.
+func NewEndpoint(host *netsim.Host) *Endpoint {
+	ep := &Endpoint{
+		host:     host,
+		eng:      host.Engine(),
+		conns:    make(map[netsim.FlowKey]*Conn),
+		nextPort: 10000,
+	}
+	host.SetProtocolHandler(ep.receive)
+	return ep
+}
+
+// Host returns the endpoint's host.
+func (e *Endpoint) Host() *netsim.Host { return e.host }
+
+// ConnCount returns the number of live connections (either role).
+func (e *Endpoint) ConnCount() int { return len(e.conns) }
+
+// Connect opens a sending connection to dst:dstPort and starts the
+// handshake. Data queued with Send flows once the handshake completes.
+func (e *Endpoint) Connect(dst netsim.HostID, dstPort uint16, opts Options) *Conn {
+	opts = opts.withDefaults()
+	e.nextPort++
+	flow := netsim.FlowKey{
+		Src: e.host.ID, Dst: dst,
+		SrcPort: e.nextPort, DstPort: dstPort,
+	}
+	c := &Conn{
+		ep:        e,
+		flow:      flow,
+		sender:    true,
+		opts:      opts,
+		cc:        opts.newCC(),
+		rto:       opts.RTOInit,
+		startedAt: e.eng.Now(),
+	}
+	e.conns[flow] = c
+	c.sendSYN()
+	return c
+}
+
+// receive is the host protocol handler.
+func (e *Endpoint) receive(seg *netsim.Segment) {
+	if seg.Is(netsim.FlagMulticast) {
+		// Multicast beacons are measurement traffic with no transport state.
+		return
+	}
+	if seg.Is(netsim.FlagACK) {
+		// Control for one of our sending connections.
+		flow := seg.Flow.Reverse()
+		if c, ok := e.conns[flow]; ok && c.sender {
+			c.onAckSegment(seg)
+		}
+		return
+	}
+	// Data direction: we are (or become) the receiver.
+	c, ok := e.conns[seg.Flow]
+	if !ok {
+		if !seg.Is(netsim.FlagSYN) {
+			// Stray data for a closed connection; ignore silently, matching
+			// a RST-free simplified stack.
+			return
+		}
+		c = &Conn{
+			ep:     e,
+			flow:   seg.Flow,
+			sender: false,
+			opts:   Options{}.withDefaults(),
+		}
+		e.conns[seg.Flow] = c
+		if e.OnAccept != nil {
+			e.OnAccept(c)
+		}
+	}
+	if seg.Is(netsim.FlagFIN) {
+		c.flushDelack()
+		c.sendAck(seg)
+		e.remove(seg.Flow)
+		return
+	}
+	c.onDataSegment(seg)
+}
+
+func (e *Endpoint) remove(flow netsim.FlowKey) {
+	delete(e.conns, flow)
+}

@@ -1,0 +1,162 @@
+// Package txtplot renders simple ASCII line plots for terminal inspection of
+// the regenerated figures: multiple named series on shared axes, with
+// automatic scaling, axis labels, and per-series markers. It exists so
+// `cmd/experiments -plot` can show the *shape* of each distribution next to
+// the quantile tables — the form in which the paper's findings are stated.
+package txtplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is an (x, y) pair.
+type Point struct{ X, Y float64 }
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// markers assigns one rune per series, in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Options configure a plot.
+type Options struct {
+	// Width and Height are the plot area size in characters (defaults
+	// 72x18).
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// YMax forces the y-axis maximum (0 = auto).
+	YMax float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 18
+	}
+	return o
+}
+
+// Render draws the series into a single string.
+func Render(series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	w, h := opts.Width, opts.Height
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if opts.YMax > 0 {
+		ymax = opts.YMax
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(p Point, mark byte) {
+		cx := int((p.X - xmin) / (xmax - xmin) * float64(w-1))
+		cy := int((p.Y - ymin) / (ymax - ymin) * float64(h-1))
+		if cx < 0 || cx >= w || cy < 0 || cy >= h {
+			return
+		}
+		row := h - 1 - cy
+		grid[row][cx] = mark
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Draw line segments by sampling between consecutive points.
+		for i := 0; i < len(s.Points); i++ {
+			plot(s.Points[i], mark)
+			if i+1 < len(s.Points) {
+				a, b := s.Points[i], s.Points[i+1]
+				steps := 2 * w
+				for k := 1; k < steps; k++ {
+					f := float64(k) / float64(steps)
+					plot(Point{X: a.X + f*(b.X-a.X), Y: a.Y + f*(b.Y-a.Y)}, mark)
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	yTopLabel := fmtAxis(ymax)
+	yBotLabel := fmtAxis(ymin)
+	labelW := len(yTopLabel)
+	if len(yBotLabel) > labelW {
+		labelW = len(yBotLabel)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.YLabel)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTopLabel)
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, yBotLabel)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	xAxis := fmt.Sprintf("%s%s", fmtAxis(xmin), strings.Repeat(" ", max(1, w-len(fmtAxis(xmin))-len(fmtAxis(xmax)))))
+	fmt.Fprintf(&sb, "%s  %s%s", strings.Repeat(" ", labelW), xAxis, fmtAxis(xmax))
+	if opts.XLabel != "" {
+		fmt.Fprintf(&sb, "  (%s)", opts.XLabel)
+	}
+	sb.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%s  %c %s\n", strings.Repeat(" ", labelW), markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func fmtAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

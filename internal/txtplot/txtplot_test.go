@@ -1,0 +1,107 @@
+package txtplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) Point) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = f(i)
+	}
+	return pts
+}
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{{
+		Name:   "ramp",
+		Points: line(10, func(i int) Point { return Point{X: float64(i), Y: float64(i)} }),
+	}}
+	out := Render(s, Options{Width: 40, Height: 10, XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "ramp") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no markers drawn")
+	}
+	if !strings.Contains(out, "(x)") || !strings.Contains(out, "y\n") {
+		t.Error("axis labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	// y label + height rows + axis + x labels + legend.
+	if len(lines) < 10+3 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderMonotoneRampFillsDiagonal(t *testing.T) {
+	s := []Series{{
+		Name:   "r",
+		Points: line(2, func(i int) Point { return Point{X: float64(i), Y: float64(i)} }),
+	}}
+	out := Render(s, Options{Width: 20, Height: 10})
+	rows := strings.Split(out, "\n")
+	// First grid row (top) should have the marker near the right edge,
+	// last grid row near the left edge.
+	var grid []string
+	for _, r := range rows {
+		if strings.Contains(r, "|") {
+			grid = append(grid, r[strings.Index(r, "|")+1:])
+		}
+	}
+	if len(grid) != 10 {
+		t.Fatalf("grid rows = %d", len(grid))
+	}
+	top, bottom := grid[0], grid[len(grid)-1]
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Error("ramp is not ascending left-to-right")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", Points: line(5, func(i int) Point { return Point{X: float64(i), Y: 1} })},
+		{Name: "b", Points: line(5, func(i int) Point { return Point{X: float64(i), Y: 2} })},
+	}
+	out := Render(s, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series markers not distinct")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, Options{}); got != "(no data)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+	nan := []Series{{Name: "n", Points: []Point{{X: 0, Y: 0}}}}
+	if got := Render(nan, Options{}); got == "(no data)\n" {
+		t.Error("single valid point should render")
+	}
+}
+
+func TestRenderYMaxClamp(t *testing.T) {
+	s := []Series{{
+		Name:   "spike",
+		Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 100}},
+	}}
+	out := Render(s, Options{Width: 20, Height: 5, YMax: 10})
+	if !strings.Contains(out, "10 |") {
+		t.Errorf("forced YMax not reflected in axis:\n%s", out)
+	}
+}
+
+func TestFmtAxis(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500:    "1.5k",
+		2e6:     "2M",
+		0.005:   "0.005",
+		3.14159: "3.14",
+	}
+	for v, want := range cases {
+		if got := fmtAxis(v); got != want {
+			t.Errorf("fmtAxis(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/transport"
+)
+
+// backgroundTick is the pacing quantum of smooth background traffic.
+const backgroundTick = 2 * sim.Millisecond
+
+// ServerLoad drives one profile's traffic into one rack server from
+// fabric-side remote hosts. Request semantics are short-circuited: instead
+// of modeling a request packet, the generator directly schedules the remote
+// peers' responses (a half-RTT bookkeeping difference, irrelevant at 1 ms
+// sampling).
+type ServerLoad struct {
+	rack   *testbed.Rack
+	server int
+	prof   Profile
+	rng    *sim.RNG
+
+	pool    []*transport.Conn
+	bgConns []*transport.Conn
+	bgBytes int64
+	next    int // round-robin cursor over the pool
+	stopped bool
+
+	// Bursts counts bursts issued; FreshDials counts incast connections
+	// dialed.
+	Bursts     int
+	FreshDials int
+}
+
+// Install wires a profile onto rack server `server` and starts its traffic
+// processes immediately.
+func Install(rack *testbed.Rack, server int, prof Profile, rng *sim.RNG) *ServerLoad {
+	l := &ServerLoad{rack: rack, server: server, prof: prof, rng: rng}
+	dst := rack.Servers[server].ID
+
+	fan := prof.FanIn
+	if fan < 1 {
+		fan = 1
+	}
+	if !prof.FreshConns {
+		for i := 0; i < fan; i++ {
+			ep := l.pickRemote()
+			l.pool = append(l.pool, ep.Connect(dst, 80, transport.Options{}))
+		}
+	}
+	// Background chatter rides a small pool of persistent connections
+	// (every production host keeps many half-idle connections alive), so
+	// the per-sample connection estimate outside bursts is several, not
+	// one — the paper's Fig 8 baseline.
+	const bgPool = 5
+	for i := 0; i < bgPool; i++ {
+		l.bgConns = append(l.bgConns, l.pickRemote().Connect(dst, 81, transport.Options{}))
+	}
+	rate := rack.Servers[server].LineRateBps()
+	l.bgBytes = int64(prof.BackgroundUtil * float64(rate) / 8 * backgroundTick.Seconds())
+
+	l.scheduleBackground()
+	l.scheduleBurst()
+	return l
+}
+
+// Stop halts future background ticks and bursts.
+func (l *ServerLoad) Stop() { l.stopped = true }
+
+func (l *ServerLoad) pickRemote() *transport.Endpoint {
+	return l.rack.RemoteEPs[l.rng.Intn(len(l.rack.RemoteEPs))]
+}
+
+func (l *ServerLoad) scheduleBackground() {
+	if l.bgBytes <= 0 {
+		return
+	}
+	// Desynchronize ticks across servers.
+	first := sim.Time(l.rng.Int63n(int64(backgroundTick)))
+	var tick func()
+	tick = func() {
+		if l.stopped {
+			return
+		}
+		// Spread the tick's bytes over the background pool so several
+		// connections are active in every sampling bucket.
+		per := l.bgBytes / int64(len(l.bgConns))
+		if per < 1 {
+			per = 1
+		}
+		for _, c := range l.bgConns {
+			c.Send(per)
+		}
+		l.rack.Eng.After(backgroundTick, tick)
+	}
+	l.rack.Eng.After(first, tick)
+}
+
+func (l *ServerLoad) scheduleBurst() {
+	if l.prof.BurstsPerSec <= 0 {
+		return
+	}
+	mean := sim.Time(float64(sim.Second) / l.prof.BurstsPerSec)
+	var fire func()
+	schedule := func() {
+		l.rack.Eng.After(l.rng.ExpTime(mean), fire)
+	}
+	fire = func() {
+		if l.stopped {
+			return
+		}
+		l.burst()
+		schedule()
+	}
+	schedule()
+}
+
+// burst issues one burst of log-normal volume across the profile's fan-in.
+func (l *ServerLoad) burst() {
+	l.Bursts++
+	volume := l.rng.LogNormal(math.Log(l.prof.VolumeMedian), l.prof.VolumeSigma)
+	fan := l.prof.FanIn
+	if fan < 1 {
+		fan = 1
+	}
+	per := int64(volume / float64(fan))
+	if per < 1 {
+		per = 1
+	}
+	if l.prof.FreshConns {
+		dst := l.rack.Servers[l.server].ID
+		for i := 0; i < fan; i++ {
+			c := l.pickRemote().Connect(dst, 80, transport.Options{})
+			c.Send(per)
+			c.OnDrain = c.Close
+			l.FreshDials++
+		}
+		return
+	}
+	for i := 0; i < fan; i++ {
+		l.pool[l.next].Send(per)
+		l.next = (l.next + 1) % len(l.pool)
+	}
+}
+
+// InstallRack installs one profile per server (profiles[i] drives server i)
+// and returns the loads. Each load gets a forked RNG stream so racks are
+// reproducible independent of ordering.
+func InstallRack(rack *testbed.Rack, profiles []Profile, rng *sim.RNG) []*ServerLoad {
+	if len(profiles) != len(rack.Servers) {
+		panic("workload: one profile per server required")
+	}
+	loads := make([]*ServerLoad, len(profiles))
+	for i, p := range profiles {
+		loads[i] = Install(rack, i, p, rng.Fork(uint64(i)))
+	}
+	return loads
+}
+
+// egressLoad is reserved for future egress-side workloads; the paper's
+// analysis is ingress-only (§5: ingress constitutes the major source of
+// discards), so no egress generator is installed by default.
+var _ = netsim.Egress

@@ -1,0 +1,129 @@
+// Package workload generates service traffic against a rack testbed: smooth
+// background load, bursty request fan-in, heavy incast, and ML-training
+// ingest, plus the two validation tools of paper §4.5 (the rack-local
+// multicast beacon and the client/server burst generator).
+//
+// Profiles are calibrated so the paper's distributional shapes emerge from
+// the transport and switch mechanics rather than being scripted: burst
+// volumes are heavy-tailed around a ~1.8 MB median, burst frequencies put
+// the median bursty server run near 7.5 bursts/s, ML-dominated racks reach
+// high average contention through high-duty-cycle ingest, and loss arises
+// only where DCTCP cannot help (fresh-connection incast, shrunken DT
+// thresholds under contention).
+package workload
+
+import "repro/internal/sim"
+
+// Profile describes one service's traffic into a single server.
+type Profile struct {
+	// Name identifies the service type.
+	Name string
+	// BackgroundUtil is smooth non-bursty load as a fraction of the server
+	// line rate; it keeps links "largely idle but never silent" (paper §6
+	// finds 5.5% median utilization outside bursts).
+	BackgroundUtil float64
+	// BurstsPerSec is the mean rate of the Poisson burst process.
+	BurstsPerSec float64
+	// VolumeMedian is the median burst volume in bytes (log-normal).
+	VolumeMedian float64
+	// VolumeSigma is the log-normal sigma of burst volumes.
+	VolumeSigma float64
+	// FanIn is how many connections carry each burst.
+	FanIn int
+	// FreshConns dials new connections for every burst (heavy-incast
+	// pattern: slow-start windows collide in the buffer) instead of reusing
+	// a persistent, congestion-adapted pool.
+	FreshConns bool
+}
+
+// Scale returns a copy with the burst rate scaled by f (diurnal load factor
+// or per-rack intensity).
+func (p Profile) Scale(f float64) Profile {
+	p.BurstsPerSec *= f
+	return p
+}
+
+// Catalog of service profiles used by the fleet model. Volumes assume the
+// 12.5 Gbps server class: 1 MB arriving at line rate occupies ~0.64 ms.
+var (
+	// Web is a frontend tier: moderate fan-in over persistent connections,
+	// short bursts.
+	Web = Profile{
+		Name: "web", BackgroundUtil: 0.025,
+		BurstsPerSec: 12, VolumeMedian: 1.2e6, VolumeSigma: 0.7,
+		FanIn: 12,
+	}
+	// Cache is a caching tier with heavy incast: many fresh connections
+	// answering fan-out queries at once. This is the loss-prone pattern.
+	Cache = Profile{
+		Name: "cache", BackgroundUtil: 0.035,
+		BurstsPerSec: 16, VolumeMedian: 1.4e6, VolumeSigma: 0.75,
+		FanIn: 56, FreshConns: true,
+	}
+	// Storage moves large objects on few persistent connections.
+	Storage = Profile{
+		Name: "storage", BackgroundUtil: 0.03,
+		BurstsPerSec: 5, VolumeMedian: 5.5e6, VolumeSigma: 0.6,
+		FanIn: 4,
+	}
+	// Batch is sporadic analytics traffic.
+	Batch = Profile{
+		Name: "batch", BackgroundUtil: 0.012,
+		BurstsPerSec: 2, VolumeMedian: 2.8e6, VolumeSigma: 0.9,
+		FanIn: 8,
+	}
+	// Quiet is a mostly idle service (control planes, dev machines); its
+	// server runs usually contain no burst at all. The paper finds only 34%
+	// of server runs bursty, so quiet placements are common.
+	Quiet = Profile{
+		Name: "quiet", BackgroundUtil: 0.008,
+		BurstsPerSec: 0.2, VolumeMedian: 0.9e6, VolumeSigma: 0.6,
+		FanIn: 3,
+	}
+	// MLTrain is the machine-learning ingest the paper identifies on
+	// RegA-High racks: high-duty-cycle bursts on persistent,
+	// congestion-adapted connections. High contention, but DCTCP keeps
+	// queues near the ECN threshold, so comparatively low loss.
+	MLTrain = Profile{
+		Name: "mltrain", BackgroundUtil: 0.05,
+		BurstsPerSec: 40, VolumeMedian: 3.8e6, VolumeSigma: 0.6,
+		FanIn: 8,
+	}
+	// MLReader is the data-loading side of an ML job: sharded reads over
+	// fresh connections. A minority of an ML rack's servers run readers,
+	// giving RegA-High its small-but-nonzero loss rate.
+	MLReader = Profile{
+		Name: "mlreader", BackgroundUtil: 0.04,
+		BurstsPerSec: 10, VolumeMedian: 2.6e6, VolumeSigma: 0.7,
+		FanIn: 36, FreshConns: true,
+	}
+)
+
+// Catalog lists the typical-service profiles (everything except MLTrain)
+// with fleet placement weights.
+var Catalog = []struct {
+	Profile Profile
+	Weight  float64
+}{
+	{Web, 0.20},
+	{Cache, 0.14},
+	{Storage, 0.12},
+	{Batch, 0.12},
+	{Quiet, 0.42},
+}
+
+// PickTypical draws a typical-service profile using the catalog weights.
+func PickTypical(rng *sim.RNG) Profile {
+	total := 0.0
+	for _, c := range Catalog {
+		total += c.Weight
+	}
+	x := rng.Float64() * total
+	for _, c := range Catalog {
+		x -= c.Weight
+		if x < 0 {
+			return c.Profile
+		}
+	}
+	return Catalog[len(Catalog)-1].Profile
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/transport"
+)
+
+// MulticastBeacon reproduces the §4.5 time-synchronization validation tool:
+// a sender emits periodic bursts to a rack-local multicast address; the ToR
+// replicates each packet to all subscribers, so on idle links every
+// subscriber receives the burst at the same instant — any skew seen in
+// SyncMillisampler output is collection skew, not network skew.
+type MulticastBeacon struct {
+	rack    *testbed.Rack
+	group   netsim.GroupID
+	period  sim.Time
+	segs    int
+	segSize int
+	pacing  sim.Time
+	stopped bool
+
+	// Sent counts bursts emitted.
+	Sent int
+}
+
+// NewMulticastBeacon subscribes the given server ports to a group and
+// prepares a beacon sourced from remote 0. Production multicast is rate
+// limited; pacingBps caps the in-burst rate accordingly.
+func NewMulticastBeacon(rack *testbed.Rack, subscribers []int, period sim.Time, burstBytes int, pacingBps int64) *MulticastBeacon {
+	const group netsim.GroupID = 1
+	for _, p := range subscribers {
+		rack.Switch.Subscribe(group, p)
+	}
+	segSize := 9000
+	segs := burstBytes / segSize
+	if segs < 1 {
+		segs = 1
+	}
+	var pacing sim.Time
+	if pacingBps > 0 {
+		pacing = sim.Time(int64(segSize) * 8 * int64(sim.Second) / pacingBps)
+	}
+	return &MulticastBeacon{
+		rack: rack, group: group, period: period,
+		segs: segs, segSize: segSize, pacing: pacing,
+	}
+}
+
+// Start begins emitting bursts every period.
+func (b *MulticastBeacon) Start() {
+	var fire func()
+	fire = func() {
+		if b.stopped {
+			return
+		}
+		b.emitBurst()
+		b.rack.Eng.After(b.period, fire)
+	}
+	b.rack.Eng.After(b.period, fire)
+}
+
+// Stop halts the beacon.
+func (b *MulticastBeacon) Stop() { b.stopped = true }
+
+func (b *MulticastBeacon) emitBurst() {
+	b.Sent++
+	src := b.rack.Remotes[0]
+	for i := 0; i < b.segs; i++ {
+		seg := &netsim.Segment{
+			Flow: netsim.FlowKey{
+				Src: src.ID, Dst: 0, SrcPort: 5353, DstPort: 5353,
+			},
+			Group: b.group,
+			Size:  b.segSize,
+			Flags: netsim.FlagMulticast,
+		}
+		delay := sim.Time(i) * b.pacing
+		s := seg
+		b.rack.Eng.After(delay, func() { src.Send(s) })
+	}
+}
+
+// BurstGen reproduces the §4.5 burst-identification validation tool: each
+// client (a rack server) periodically receives a fixed-volume burst from a
+// dedicated sender, with request timing driven by the client's local clock.
+// The request itself is short-circuited: the sender transmits at the instant
+// the client's clock fires (half-RTT earlier than reality, irrelevant at
+// 1 ms granularity).
+type BurstGen struct {
+	rack    *testbed.Rack
+	conns   []*transport.Conn
+	clients []int
+	period  sim.Time
+	volume  int64
+	stopped bool
+
+	// Requests counts bursts requested per client.
+	Requests []int
+}
+
+// NewBurstGen prepares one sender per client server. Senders are distinct
+// remotes, mirroring the paper's five servers spread across five racks.
+func NewBurstGen(rack *testbed.Rack, clients []int, period sim.Time, volume int64) *BurstGen {
+	g := &BurstGen{
+		rack: rack, clients: clients, period: period, volume: volume,
+		Requests: make([]int, len(clients)),
+	}
+	for i, c := range clients {
+		ep := rack.RemoteEPs[i%len(rack.RemoteEPs)]
+		g.conns = append(g.conns, ep.Connect(rack.Servers[c].ID, 80, transport.Options{}))
+	}
+	return g
+}
+
+// Start begins the periodic request loops, one per client, each phased by
+// the client's local clock offset.
+func (g *BurstGen) Start() {
+	for i := range g.clients {
+		i := i
+		srvClock := g.rack.Servers[g.clients[i]].Clock
+		var fire func()
+		fire = func() {
+			if g.stopped {
+				return
+			}
+			g.Requests[i]++
+			g.conns[i].Send(g.volume)
+			// Next request when the client's local clock has advanced one
+			// period; to first order that is one true period minus clock
+			// drift, which the per-host clock model makes negligible.
+			g.rack.Eng.After(g.period, fire)
+		}
+		// Initial phase: clients start on their local clock's next period
+		// boundary, so starts are offset by (negative) clock offsets.
+		off := srvClock.Offset(g.rack.Eng.Now())
+		first := g.period - off
+		if first < 0 {
+			first = 0
+		}
+		g.rack.Eng.After(first, fire)
+	}
+}
+
+// Stop halts all request loops.
+func (g *BurstGen) Stop() { g.stopped = true }

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// sampleRack installs profiles on a small rack, runs a sampler window, and
+// returns the analyzed SyncRun.
+func sampleRack(t *testing.T, profiles []Profile, seed uint64, buckets int) *analysis.RunAnalysis {
+	t.Helper()
+	rack := testbed.NewRack(testbed.RackConfig{Servers: len(profiles), Remotes: 96, Seed: seed})
+	InstallRack(rack, profiles, rack.RNG.Fork(1))
+	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: buckets, CountFlows: true})
+	const warmup = 150 * sim.Millisecond
+	ctrl.Schedule(warmup)
+	rack.Eng.RunUntil(ctrl.HarvestAt(warmup) + sim.Millisecond)
+	if !ctrl.Done() {
+		t.Fatal("controller did not finish")
+	}
+	sr, err := ctrl.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Analyze(sr, analysis.DefaultOptions())
+}
+
+func TestQuietProfileMostlyIdle(t *testing.T) {
+	ra := sampleRack(t, []Profile{Quiet, Quiet, Quiet, Quiet}, 11, 500)
+	for _, srv := range ra.Servers {
+		if srv.AvgUtil > 0.10 {
+			t.Errorf("quiet server %d average utilization %.3f", srv.Server, srv.AvgUtil)
+		}
+	}
+}
+
+func TestWebProfileProducesBursts(t *testing.T) {
+	ra := sampleRack(t, []Profile{Web, Web, Web, Web}, 12, 1000)
+	total := 0
+	for _, srv := range ra.Servers {
+		total += srv.NumBursts
+	}
+	if total == 0 {
+		t.Fatal("web profile produced no bursts in 1s across 4 servers")
+	}
+	// Background should keep utilization low outside bursts.
+	for _, srv := range ra.Servers {
+		if srv.Bursty && srv.AvgUtilOutside > 0.25 {
+			t.Errorf("server %d outside-burst utilization %.3f", srv.Server, srv.AvgUtilOutside)
+		}
+	}
+}
+
+func TestMLProfileHighDuty(t *testing.T) {
+	profiles := make([]Profile, 8)
+	for i := range profiles {
+		profiles[i] = MLTrain
+	}
+	ra := sampleRack(t, profiles, 13, 1000)
+	if got := ra.AvgContention(); got < 1.0 {
+		t.Errorf("8 ML servers average contention %.2f, want >= 1", got)
+	}
+	var bursts int
+	for _, srv := range ra.Servers {
+		bursts += srv.NumBursts
+	}
+	if bursts < 50 {
+		t.Errorf("ML rack produced only %d bursts in 1s", bursts)
+	}
+}
+
+func TestCacheIncastDialsFreshConns(t *testing.T) {
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 2, Remotes: 96, Seed: 14})
+	l := Install(rack, 0, Cache, rack.RNG.Fork(2))
+	rack.Eng.RunUntil(500 * sim.Millisecond)
+	if l.Bursts == 0 {
+		t.Fatal("cache profile issued no bursts")
+	}
+	if l.FreshDials < l.Bursts*Cache.FanIn/2 {
+		t.Errorf("fresh dials %d too few for %d bursts of fan-in %d", l.FreshDials, l.Bursts, Cache.FanIn)
+	}
+}
+
+func TestLoadStopHaltsTraffic(t *testing.T) {
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 2, Remotes: 16, Seed: 15})
+	l := Install(rack, 0, Web, rack.RNG.Fork(3))
+	rack.Eng.RunUntil(200 * sim.Millisecond)
+	l.Stop()
+	burstsAtStop := l.Bursts
+	rack.Eng.RunUntil(600 * sim.Millisecond)
+	if l.Bursts != burstsAtStop {
+		t.Errorf("bursts continued after Stop: %d -> %d", burstsAtStop, l.Bursts)
+	}
+}
+
+func TestPickTypicalCoversCatalog(t *testing.T) {
+	rng := sim.NewRNG(16)
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[PickTypical(rng).Name] = true
+	}
+	for _, c := range Catalog {
+		if !seen[c.Profile.Name] {
+			t.Errorf("profile %s never drawn", c.Profile.Name)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Web.Scale(2)
+	if p.BurstsPerSec != Web.BurstsPerSec*2 {
+		t.Error("Scale did not scale burst rate")
+	}
+	if p.VolumeMedian != Web.VolumeMedian {
+		t.Error("Scale changed volume")
+	}
+}
+
+func TestMulticastBeaconSynchronizedArrival(t *testing.T) {
+	// The §4.5 validation: all subscribers see the multicast burst in the
+	// same 1 ms sample.
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 8, Seed: 17})
+	subs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	beacon := NewMulticastBeacon(rack, subs, 100*sim.Millisecond, 256<<10, 2_000_000_000)
+	beacon.Start()
+	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 500, CountFlows: false})
+	ctrl.Schedule(50 * sim.Millisecond)
+	rack.Eng.RunUntil(ctrl.HarvestAt(50*sim.Millisecond) + sim.Millisecond)
+	sr, err := ctrl.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beacon.Sent < 4 {
+		t.Fatalf("beacon sent only %d bursts", beacon.Sent)
+	}
+	// Find samples where server 0 received the beacon; all other servers
+	// must show traffic within one sample of it.
+	aligned, total := 0, 0
+	for i := 1; i < sr.Samples-1; i++ {
+		if sr.Servers[0].In[i] < 1000 {
+			continue
+		}
+		total++
+		ok := true
+		for s := 1; s < 8; s++ {
+			got := sr.Servers[s].In[i-1] + sr.Servers[s].In[i] + sr.Servers[s].In[i+1]
+			if got < 1000 {
+				ok = false
+			}
+		}
+		if ok {
+			aligned++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no beacon samples observed on server 0")
+	}
+	if float64(aligned) < 0.9*float64(total) {
+		t.Errorf("only %d/%d beacon samples aligned across all servers", aligned, total)
+	}
+}
+
+func TestBurstGenIdentifiesSimultaneousBurstyServers(t *testing.T) {
+	// The §4.5 validation: 5 clients each receiving a 1.8 MB burst per
+	// period must be identified as 5 simultaneously bursty servers.
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 8, Seed: 18})
+	clients := []int{0, 1, 2, 3, 4}
+	gen := NewBurstGen(rack, clients, 100*sim.Millisecond, 1_800_000)
+	gen.Start()
+	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 600, CountFlows: false})
+	ctrl.Schedule(50 * sim.Millisecond)
+	rack.Eng.RunUntil(ctrl.HarvestAt(50*sim.Millisecond) + sim.Millisecond)
+	sr, err := ctrl.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := analysis.Analyze(sr, analysis.DefaultOptions())
+	max := 0
+	for _, c := range ra.Contention {
+		if c > max {
+			max = c
+		}
+	}
+	if max != 5 {
+		t.Errorf("max contention %d, want 5 simultaneously bursty clients", max)
+	}
+	for _, r := range gen.Requests {
+		if r < 4 {
+			t.Errorf("a client issued only %d requests", r)
+		}
+	}
+}
