@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the verification gate: build + vet + race-enabled tests.
+check:
+	./scripts/check.sh

@@ -65,7 +65,10 @@ func main() {
 			}
 		},
 	}
-	periodic.Start()
+	if err := periodic.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "millisampler:", err)
+		os.Exit(1)
+	}
 
 	runSpan := cfg.Window() + 60*sim.Millisecond
 	rack.Eng.RunUntil(sim.Time(*runs) * runSpan * 2)

@@ -39,13 +39,19 @@ func main() {
 			profiles[i] = workload.PickTypical(rng)
 		}
 	}
-	workload.InstallRack(rack, profiles, rng)
+	if _, err := workload.InstallRack(rack, profiles, rng); err != nil {
+		fmt.Fprintln(os.Stderr, "syncsampler:", err)
+		os.Exit(1)
+	}
 
 	ctrl := core.NewController(rack, core.Config{
 		Interval: sim.Millisecond, Buckets: *buckets, CountFlows: true,
 	})
 	const warmup = 150 * sim.Millisecond
-	ctrl.Schedule(warmup)
+	if err := ctrl.Schedule(warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "syncsampler:", err)
+		os.Exit(1)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(warmup) + sim.Millisecond)
 
 	sr, err := ctrl.Result()

@@ -46,9 +46,13 @@ func buildRack(seed uint64, nML int) (*analysis.RunAnalysis, int64) {
 			profiles[i] = workload.PickTypical(rng)
 		}
 	}
-	workload.InstallRack(rack, profiles, rng)
+	if _, err := workload.InstallRack(rack, profiles, rng); err != nil {
+		panic(err)
+	}
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 1500, CountFlows: true})
-	ctrl.Schedule(150 * sim.Millisecond)
+	if err := ctrl.Schedule(150 * sim.Millisecond); err != nil {
+		panic(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(150*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {

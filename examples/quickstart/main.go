@@ -27,13 +27,17 @@ func main() {
 		workload.Storage, workload.Batch,
 		workload.Quiet, workload.Quiet,
 	}
-	workload.InstallRack(rack, profiles, rng)
+	if _, err := workload.InstallRack(rack, profiles, rng); err != nil {
+		log.Fatal(err)
+	}
 
 	// SyncMillisampler: 1 ms sampling over 2000 buckets on every server,
 	// scheduled in advance, harvested and aligned automatically.
 	ctrl := core.NewController(rack, core.DefaultConfig())
 	const start = 150 * sim.Millisecond
-	ctrl.Schedule(start)
+	if err := ctrl.Schedule(start); err != nil {
+		log.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(start) + sim.Millisecond)
 
 	sr, err := ctrl.Result()

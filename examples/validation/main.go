@@ -35,7 +35,9 @@ func timeSync() {
 	beacon.Start()
 
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 1000})
-	ctrl.Schedule(20 * sim.Millisecond)
+	if err := ctrl.Schedule(20 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(20*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {
@@ -82,7 +84,9 @@ func burstIdent() {
 	gen.Start()
 
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 1000, CountFlows: true})
-	ctrl.Schedule(20 * sim.Millisecond)
+	if err := ctrl.Schedule(20 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(20*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {

@@ -79,6 +79,11 @@ func (b *Burst) Contended() bool { return b.MaxContention >= 2 }
 // paper calls a "server run").
 type ServerRun struct {
 	Server int
+	// Status is the host's collection outcome. Degraded servers contribute
+	// only their valid samples; Missing/Unsynced servers contribute nothing.
+	Status core.CollectionStatus
+	// ValidSamples is how many leading samples the statistics cover.
+	ValidSamples int
 	// Bursty reports whether the server had at least one burst.
 	Bursty bool
 	// NumBursts counts bursts in the run.
@@ -127,8 +132,12 @@ func Analyze(sr *core.SyncRun, opts Options) *RunAnalysis {
 	for si := range sr.Servers {
 		srv := &sr.Servers[si]
 		row := make([]bool, n)
+		// Degraded servers only contribute the samples they actually
+		// observed; the zero-filled tail of a truncated run must not read as
+		// idle time, and Missing/Unsynced servers must not read as idle hosts.
+		valid := srv.Valid(n)
 		threshold := opts.BurstThreshold * float64(srv.LineRateBps) / 8 * intervalSec
-		for i := 0; i < n; i++ {
+		for i := 0; i < valid; i++ {
 			if srv.In[i] > threshold {
 				row[i] = true
 				ra.Contention[i]++
@@ -147,10 +156,16 @@ func (ra *RunAnalysis) analyzeServer(si int) {
 	sr := ra.Run
 	srv := &sr.Servers[si]
 	row := ra.Bursty[si]
-	n := sr.Samples
+	n := srv.Valid(sr.Samples)
 	intervalSec := sr.Interval.Seconds()
 
-	run := ServerRun{Server: si}
+	run := ServerRun{Server: si, Status: srv.Status, ValidSamples: n}
+	if n == 0 {
+		// Nothing was collected; report the status without inventing an
+		// all-idle server run.
+		ra.Servers = append(ra.Servers, run)
+		return
+	}
 	var insideUtil, outsideUtil, insideConns, outsideConns float64
 	var insideN, outsideN int
 

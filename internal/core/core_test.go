@@ -319,7 +319,9 @@ func TestControllerEndToEnd(t *testing.T) {
 	rack := testbed.NewRack(testbed.RackConfig{Servers: 4, Seed: 3})
 	cfg := Config{Interval: sim.Millisecond, Buckets: 200, CountFlows: true}
 	ctrl := NewController(rack, cfg)
-	ctrl.Schedule(20 * sim.Millisecond)
+	if err := ctrl.Schedule(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 
 	// Traffic to two servers during the window.
 	const transfer = 4 << 20
@@ -364,15 +366,12 @@ func TestControllerEndToEnd(t *testing.T) {
 	}
 }
 
-func TestControllerScheduleLeadPanics(t *testing.T) {
+func TestControllerScheduleLeadError(t *testing.T) {
 	rack := testbed.NewRack(testbed.RackConfig{Servers: 2, Seed: 1})
 	ctrl := NewController(rack, DefaultConfig())
-	defer func() {
-		if recover() == nil {
-			t.Error("insufficient lead time did not panic")
-		}
-	}()
-	ctrl.Schedule(0)
+	if err := ctrl.Schedule(0); err == nil {
+		t.Error("insufficient lead time did not return an error")
+	}
 }
 
 func TestPeriodicRuns(t *testing.T) {
@@ -380,7 +379,9 @@ func TestPeriodicRuns(t *testing.T) {
 	s := NewSampler(rack.Servers[0], Config{Interval: sim.Millisecond, Buckets: 50})
 	var stored []*Run
 	p := &Periodic{Sampler: s, Period: 100 * sim.Millisecond, Store: func(r *Run) { stored = append(stored, r) }}
-	p.Start()
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Background traffic so runs start.
 	c := rack.RemoteEPs[0].Connect(rack.Servers[0].ID, 80, transport.Options{})

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
 
 // Periodic drives Millisampler the way the production user-space component
 // does on every host (paper §4.1): occasionally attach the filter, run one
@@ -20,11 +24,16 @@ type Periodic struct {
 
 // Start begins the periodic schedule on the host's engine, with the first
 // run starting after one period.
-func (p *Periodic) Start() {
-	if p.Period <= 0 {
-		panic("core: periodic sampler needs a positive period")
+func (p *Periodic) Start() error {
+	if p.Sampler == nil {
+		return errors.New("core: periodic schedule needs a sampler")
 	}
+	if p.Period <= 0 {
+		return errors.New("core: periodic sampler needs a positive period")
+	}
+	p.stopped = false
 	p.scheduleNext()
+	return nil
 }
 
 // Stop halts future runs after the current one completes.

@@ -22,6 +22,12 @@ type Run struct {
 	// LineRateBps is the host's allocated link rate, the denominator of the
 	// burst threshold.
 	LineRateBps int64
+	// Truncated reports that collection was interrupted (host crash) before
+	// the window completed; only the first ValidBuckets buckets carry data.
+	Truncated bool
+	// ValidBuckets is the number of complete buckets collected before the
+	// interruption. Meaningful only when Truncated.
+	ValidBuckets int
 	// Bytes holds one series per counter kind (CtrIn..CtrInECN).
 	Bytes [NumCounters][]uint64
 	// Conns is the per-bucket connection estimate (nil when flow counting
@@ -29,9 +35,14 @@ type Run struct {
 	Conns []float64
 }
 
-// EndWall returns the host-clock end of the observation window.
+// EndWall returns the host-clock end of the observation window — the nominal
+// window for complete runs, the interruption point for truncated ones.
 func (r *Run) EndWall() clock.WallTime {
-	return r.StartWall + clock.WallTime(int64(r.Interval)*int64(r.Buckets))
+	buckets := r.Buckets
+	if r.Truncated {
+		buckets = r.ValidBuckets
+	}
+	return r.StartWall + clock.WallTime(int64(r.Interval)*int64(buckets))
 }
 
 // Series returns the byte series of one counter kind.

@@ -93,12 +93,22 @@ type Sampler struct {
 
 	attached bool
 
+	// truncated records that the host crashed while a run was collecting;
+	// truncWall is the host-clock instant of the crash. Data bucketed before
+	// the crash survives (the user-space agent's last committed snapshot);
+	// the tail of the window is lost.
+	truncated bool
+	truncWall clock.WallTime
+
 	// DisabledCalls counts filter invocations on the disabled fast path,
 	// the 7 ns case of the §4.3 microbenchmark.
 	DisabledCalls uint64
 }
 
-// NewSampler builds a sampler for host. It is not yet attached.
+// NewSampler builds a sampler for host. It is not yet attached. The sampler
+// registers a crash hook: if the host crashes mid-run, the run is frozen as
+// truncated at the crash instant and the filter is gone (tc programs do not
+// survive a reboot).
 func NewSampler(host *netsim.Host, cfg Config) *Sampler {
 	cfg = cfg.withDefaults()
 	s := &Sampler{cfg: cfg, host: host}
@@ -109,7 +119,23 @@ func NewSampler(host *netsim.Host, cfg Config) *Sampler {
 			s.cpus[i].sketches = make([]sketch.Sketch, cfg.Buckets)
 		}
 	}
+	host.OnCrash(s.onHostCrash)
 	return s
+}
+
+// onHostCrash freezes an in-flight run at the crash instant. The host has
+// already dropped the filter chains; mirror that in the attach state so a
+// later Attach reinstalls cleanly.
+func (s *Sampler) onHostCrash() {
+	s.attached = false
+	if !s.enabled {
+		return
+	}
+	s.enabled = false
+	s.truncated = true
+	if s.started {
+		s.truncWall = s.host.Clock.Now(s.host.Engine().Now())
+	}
 }
 
 // Config returns the sampler's configuration.
@@ -153,6 +179,8 @@ func (s *Sampler) Enable() {
 	}
 	s.started = false
 	s.startWall = 0
+	s.truncated = false
+	s.truncWall = 0
 	s.enabled = true
 }
 
@@ -227,6 +255,18 @@ func (s *Sampler) Read() *Run {
 		Started:     s.started,
 		StartWall:   s.startWall,
 		LineRateBps: s.host.LineRateBps(),
+		Truncated:   s.truncated,
+	}
+	if s.truncated && s.started {
+		elapsed := int64(s.truncWall) - int64(s.startWall)
+		vb := int(elapsed / int64(s.cfg.Interval))
+		if vb < 0 {
+			vb = 0
+		}
+		if vb > s.cfg.Buckets {
+			vb = s.cfg.Buckets
+		}
+		r.ValidBuckets = vb
 	}
 	for k := 0; k < NumCounters; k++ {
 		r.Bytes[k] = make([]uint64, s.cfg.Buckets)
@@ -252,6 +292,17 @@ func (s *Sampler) Read() *Run {
 		r.Conns = make([]float64, s.cfg.Buckets)
 		for j := range merged {
 			r.Conns[j] = merged[j].Estimate()
+		}
+	}
+	if r.Truncated {
+		// Drop the partially-filled crash bucket and anything after it.
+		for k := 0; k < NumCounters; k++ {
+			for j := r.ValidBuckets; j < s.cfg.Buckets; j++ {
+				r.Bytes[k][j] = 0
+			}
+		}
+		for j := r.ValidBuckets; j < len(r.Conns); j++ {
+			r.Conns[j] = 0
 		}
 	}
 	return r

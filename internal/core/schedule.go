@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -43,14 +45,16 @@ func NewMultiSchedule(host *netsim.Host, gap sim.Time, store func(*Run)) *MultiS
 }
 
 // Start begins the rotation on the first sampler's engine.
-func (m *MultiSchedule) Start() {
+func (m *MultiSchedule) Start() error {
 	if len(m.Samplers) == 0 {
-		panic("core: multi-schedule without samplers")
+		return errors.New("core: multi-schedule without samplers")
 	}
 	if m.Gap <= 0 {
 		m.Gap = 10 * sim.Millisecond
 	}
+	m.stopped = false
 	m.scheduleNext()
+	return nil
 }
 
 // Stop halts the rotation after the in-flight run.

@@ -19,7 +19,9 @@ func TestMultiScheduleRotatesIntervals(t *testing.T) {
 			Interval: iv, Buckets: 40, CountFlows: true,
 		}))
 	}
-	m.Start()
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Continuous traffic so every run starts.
 	c := rack.RemoteEPs[0].Connect(rack.Servers[0].ID, 80, transport.Options{})
@@ -73,11 +75,8 @@ func TestMultiScheduleProductionIntervals(t *testing.T) {
 	}
 }
 
-func TestMultiScheduleStartWithoutSamplersPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("empty schedule did not panic")
-		}
-	}()
-	(&MultiSchedule{}).Start()
+func TestMultiScheduleStartWithoutSamplersError(t *testing.T) {
+	if err := (&MultiSchedule{}).Start(); err == nil {
+		t.Error("empty schedule did not return an error")
+	}
 }

@@ -63,7 +63,9 @@ func Fig03MulticastSync(*fleet.Dataset) (*Result, error) {
 	beacon.Start()
 
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 1800, CountFlows: false})
-	ctrl.Schedule(20 * sim.Millisecond)
+	if err := ctrl.Schedule(20 * sim.Millisecond); err != nil {
+		return nil, err
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(20*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {
@@ -116,7 +118,9 @@ func Fig04BurstIdent(*fleet.Dataset) (*Result, error) {
 	gen.Start()
 
 	ctrl := core.NewController(rack, core.DefaultConfig())
-	ctrl.Schedule(20 * sim.Millisecond)
+	if err := ctrl.Schedule(20 * sim.Millisecond); err != nil {
+		return nil, err
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(20*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {

@@ -45,6 +45,17 @@ type RunSummary struct {
 	Samples    int
 	IntervalNs int64
 
+	// Collected reports whether the rack-hour produced an aligned run at
+	// all; when false, FailReason says why and the statistics are zero. A
+	// failed collection is recorded, not dropped: the day's schedule keeps
+	// going and the gap stays visible in the dataset.
+	Collected  bool
+	FailReason string
+	// HostsOK / HostsDegraded summarize per-host collection health
+	// (degraded = truncated, missing, or unsynced hosts).
+	HostsOK       int
+	HostsDegraded int
+
 	AvgContention float64
 	P90Contention float64
 	MinActive     int
@@ -156,12 +167,16 @@ func SimulateRun(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchDelt
 	for i, p := range spec.Profiles {
 		profiles[i] = p.Scale(scale)
 	}
-	workload.InstallRack(rack, profiles, rack.RNG.Fork(0x10AD))
+	if _, err := workload.InstallRack(rack, profiles, rack.RNG.Fork(0x10AD)); err != nil {
+		return nil, SwitchDelta{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)
+	}
 
 	ctrl := core.NewController(rack, core.Config{
 		Interval: cfg.Interval, Buckets: cfg.Buckets, CountFlows: true,
 	})
-	ctrl.Schedule(warmup)
+	if err := ctrl.Schedule(warmup); err != nil {
+		return nil, SwitchDelta{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)
+	}
 
 	var before, after SwitchDelta
 	rack.Eng.At(warmup, func() {
@@ -171,6 +186,12 @@ func SimulateRun(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchDelt
 	rack.Eng.RunUntil(ctrl.HarvestAt(warmup) + sim.Millisecond)
 	t := rack.Switch.Totals()
 	after = SwitchDelta{EnqueuedBytes: t.EnqueuedBytes, DiscardBytes: t.DiscardBytes, DiscardSegs: t.DiscardSegments}
+	if !ctrl.Done() {
+		// Harvest RPCs are still retrying (lossy control plane or crashed
+		// hosts); let the straggler window play out. The switch delta was
+		// already captured at the nominal harvest point.
+		rack.Eng.RunUntil(ctrl.HarvestDeadline(warmup) + sim.Millisecond)
+	}
 
 	sr, err := ctrl.Result()
 	if err != nil {
@@ -193,6 +214,10 @@ func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) Run
 		Hour:       hour,
 		Samples:    sr.Samples,
 		IntervalNs: int64(sr.Interval),
+
+		Collected:     true,
+		HostsOK:       sr.Health.OK,
+		HostsDegraded: sr.Health.Degraded(),
 
 		AvgContention: ra.AvgContention(),
 		P90Contention: ra.P90Contention(),
@@ -236,7 +261,6 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 
 	runs := make([]RunSummary, len(jobs))
-	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
 	for ji, j := range jobs {
@@ -247,17 +271,29 @@ func Generate(cfg Config) (*Dataset, error) {
 			defer func() { <-sem }()
 			sr, delta, err := SimulateRun(cfg, racks[j.rack], j.hour)
 			if err != nil {
-				errs[ji] = err
+				// A failed rack-hour is recorded, not fatal: the rest of the
+				// day's schedule proceeds and the dataset keeps the gap.
+				runs[ji] = RunSummary{
+					Region:     racks[j.rack].Region,
+					RackID:     racks[j.rack].ID,
+					Hour:       j.hour,
+					FailReason: err.Error(),
+				}
 				return
 			}
 			runs[ji] = summarize(racks[j.rack], j.hour, sr, delta)
 		}(ji, j)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	collected := 0
+	for i := range runs {
+		if runs[i].Collected {
+			collected++
 		}
+	}
+	if len(runs) > 0 && collected == 0 {
+		return nil, fmt.Errorf("fleet: all %d rack-hour runs failed (first: %s)",
+			len(runs), runs[0].FailReason)
 	}
 
 	ds := &Dataset{Cfg: cfg, Runs: runs}

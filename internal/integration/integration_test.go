@@ -116,7 +116,9 @@ func TestECNChain(t *testing.T) {
 func TestConnsEstimateTracksIncast(t *testing.T) {
 	rack := testbed.NewRack(testbed.RackConfig{Servers: 4, Remotes: 128, Seed: 24})
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 300, CountFlows: true})
-	ctrl.Schedule(20 * sim.Millisecond)
+	if err := ctrl.Schedule(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 
 	// 80 connections, each active in every 1 ms bucket: the sketch counts
 	// per-bucket active flows, so senders must emit at least one segment
@@ -158,7 +160,9 @@ func TestClockSkewBounded(t *testing.T) {
 	beacon := workload.NewMulticastBeacon(rack, subs, 50*sim.Millisecond, 128<<10, 2_000_000_000)
 	beacon.Start()
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 400})
-	ctrl.Schedule(15 * sim.Millisecond)
+	if err := ctrl.Schedule(15 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(15*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {
@@ -193,9 +197,13 @@ func TestAnalysisConsistencyOnLivePipeline(t *testing.T) {
 		workload.MLTrain, workload.MLTrain, workload.Cache, workload.Web,
 		workload.Storage, workload.Batch, workload.Quiet, workload.Web,
 	}
-	workload.InstallRack(rack, profiles, rng)
+	if _, err := workload.InstallRack(rack, profiles, rng); err != nil {
+		t.Fatal(err)
+	}
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 800, CountFlows: true})
-	ctrl.Schedule(150 * sim.Millisecond)
+	if err := ctrl.Schedule(150 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(150*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {

@@ -112,3 +112,82 @@ func TestLinkDropRate(t *testing.T) {
 		t.Errorf("drop fraction %v, want ~0.3", frac)
 	}
 }
+
+func TestCrashDropsTrafficAndReboots(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, HostConfig{ID: 1})
+	h.SetForwarder(ForwarderFunc(func(*Segment) {}))
+	got := 0
+	h.SetProtocolHandler(func(*Segment) { got++ })
+
+	// 1 segment per ms for 30 ms; crash at 10 ms for 10 ms.
+	for i := 0; i < 30; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		eng.At(at, func() { h.Inject(&Segment{Size: 100, Flow: FlowKey{Src: 2, Dst: 1}}) })
+	}
+	eng.At(10*sim.Millisecond, func() { h.Crash(10 * sim.Millisecond) })
+	eng.Run()
+
+	if h.Down() {
+		t.Fatal("host still down after outage elapsed")
+	}
+	if h.Boots != 1 {
+		t.Errorf("Boots = %d, want 1", h.Boots)
+	}
+	// Segments at 10..19 ms dropped (crash instant inclusive), rest delivered.
+	if got != 20 {
+		t.Errorf("delivered %d segments, want 20", got)
+	}
+	if h.CrashDrops != 10 {
+		t.Errorf("CrashDrops = %d, want 10", h.CrashDrops)
+	}
+}
+
+func TestCrashLosesStalledSegmentsAndFilters(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, HostConfig{ID: 1})
+	h.SetForwarder(ForwarderFunc(func(*Segment) {}))
+	calls := 0
+	h.AttachIngress(filterFunc(func(sim.Time, int, Direction, *Segment) { calls++ }))
+
+	h.Stall(20 * sim.Millisecond)
+	eng.At(sim.Millisecond, func() { h.Inject(&Segment{Size: 100, Flow: FlowKey{Src: 2, Dst: 1}}) })
+	hooked := false
+	h.OnCrash(func() { hooked = true })
+	eng.At(5*sim.Millisecond, func() { h.Crash(2 * sim.Millisecond) })
+	// After reboot, traffic flows again but the filter chain is gone.
+	eng.At(30*sim.Millisecond, func() { h.Inject(&Segment{Size: 100, Flow: FlowKey{Src: 2, Dst: 1}}) })
+	eng.Run()
+
+	if !hooked {
+		t.Error("crash hook did not fire")
+	}
+	if calls != 0 {
+		t.Errorf("filter ran %d times; stalled segment should be lost and chains cleared", calls)
+	}
+	if h.CrashDrops != 1 {
+		t.Errorf("CrashDrops = %d, want 1 (the stalled segment)", h.CrashDrops)
+	}
+	if h.RxBytes != 100 {
+		t.Errorf("RxBytes = %d, want only the post-reboot segment counted", h.RxBytes)
+	}
+}
+
+func TestCrashExtendOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, HostConfig{ID: 1})
+	eng.At(0, func() { h.Crash(10 * sim.Millisecond) })
+	eng.At(1*sim.Millisecond, func() { h.Crash(2 * sim.Millisecond) }) // shorter: no-op
+	eng.At(2*sim.Millisecond, func() { h.Crash(20 * sim.Millisecond) })
+	eng.RunUntil(15 * sim.Millisecond)
+	if !h.Down() {
+		t.Fatal("outage was shortened by an overlapping crash")
+	}
+	eng.RunUntil(23 * sim.Millisecond)
+	if h.Down() {
+		t.Fatal("host never rebooted")
+	}
+	if h.Boots != 1 {
+		t.Errorf("Boots = %d, want 1 (overlapping crashes are one outage)", h.Boots)
+	}
+}

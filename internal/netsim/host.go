@@ -80,6 +80,18 @@ type Host struct {
 	NICDropRate float64
 	nicRNG      *sim.RNG
 	NICDrops    int64
+
+	// Crash/reboot fault model. A crashed host is dark: segments in either
+	// direction are dropped, soft-irq state (including stalled segments) is
+	// lost, and the tc filter chains are cleared — a reboot does not restore
+	// filters, mirroring production where attached programs do not survive
+	// the kernel. The fleet the paper measured (~92k servers per region)
+	// always has some hosts in this state during a collection day.
+	downUntil  sim.Time
+	isDown     bool
+	Boots      int   // completed reboots
+	CrashDrops int64 // segments dropped while the host was down
+	crashHooks []func()
 }
 
 // HostConfig parameterizes a Host.
@@ -165,10 +177,57 @@ func (h *Host) rssCore(seg *Segment) int {
 	return int(seg.Flow.Hash() % uint64(h.Cores))
 }
 
+// Crash takes the host down for downtime: in-flight and stalled segments are
+// dropped, the tc filter chains are lost, and registered crash hooks fire so
+// attached instrumentation (e.g. a Millisampler run) can record the
+// interruption. Crashing an already-down host only extends the outage.
+func (h *Host) Crash(downtime sim.Time) {
+	until := h.eng.Now() + downtime
+	if h.isDown {
+		if until > h.downUntil {
+			h.downUntil = until
+			h.eng.At(until, h.reboot)
+		}
+		return
+	}
+	h.isDown = true
+	h.downUntil = until
+	// Soft-irq state and filter chains do not survive the crash.
+	h.CrashDrops += int64(len(h.stalled))
+	h.stalled = nil
+	h.stalledUntil = 0
+	h.ingress = nil
+	h.egress = nil
+	h.gro = nil
+	for _, fn := range h.crashHooks {
+		fn()
+	}
+	h.eng.At(until, h.reboot)
+}
+
+func (h *Host) reboot() {
+	if !h.isDown || h.eng.Now() < h.downUntil {
+		return // superseded by a longer outage
+	}
+	h.isDown = false
+	h.Boots++
+}
+
+// Down reports whether the host is currently crashed.
+func (h *Host) Down() bool { return h.isDown }
+
+// OnCrash registers fn to run at the instant the host crashes. Hooks fire
+// after the host's soft-irq and filter state has been discarded.
+func (h *Host) OnCrash(fn func()) { h.crashHooks = append(h.crashHooks, fn) }
+
 // Inject delivers a segment arriving from the wire: NIC fault model, stall
 // model, GRO (if enabled), the ingress filter chain on the RSS-selected
 // core, then the protocol handler.
 func (h *Host) Inject(seg *Segment) {
+	if h.isDown {
+		h.CrashDrops++
+		return
+	}
 	if h.NICDropRate > 0 {
 		if h.nicRNG == nil {
 			h.nicRNG = sim.NewRNG(uint64(h.ID) + 0xD40B)
@@ -230,6 +289,10 @@ func (h *Host) deliver(seg *Segment) {
 func (h *Host) Send(seg *Segment) {
 	if h.out == nil {
 		panic(fmt.Sprintf("netsim: host %d has no forwarder", h.ID))
+	}
+	if h.isDown {
+		h.CrashDrops++
+		return
 	}
 	h.TxBytes += int64(seg.Size)
 	now := h.eng.Now()

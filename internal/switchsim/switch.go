@@ -1,6 +1,7 @@
 package switchsim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/netsim"
@@ -130,45 +131,69 @@ type Switch struct {
 	TotalDiscards int64
 }
 
-// New builds a switch. Per-port sinks must be wired with ConnectPort before
-// traffic flows.
-func New(eng *sim.Engine, cfg Config) *Switch {
-	if cfg.Ports <= 0 {
-		panic("switchsim: switch needs at least one port")
+// withDefaults fills zero fields with the production-mirroring defaults and
+// derives the dedicated reserve when unset.
+func (c Config) withDefaults() Config {
+	if c.TotalBuffer <= 0 {
+		c.TotalBuffer = 16 << 20
 	}
-	if cfg.TotalBuffer <= 0 {
-		cfg.TotalBuffer = 16 << 20
+	if c.Quadrants <= 0 {
+		c.Quadrants = 4
 	}
-	if cfg.Quadrants <= 0 {
-		cfg.Quadrants = 4
+	if c.Alpha == 0 {
+		c.Alpha = 1.0
 	}
-	if cfg.Alpha == 0 {
-		cfg.Alpha = 1.0
+	if c.ECNThreshold == 0 {
+		c.ECNThreshold = 120 << 10
 	}
-	if cfg.ECNThreshold == 0 {
-		cfg.ECNThreshold = 120 << 10
+	if c.DownlinkRateBps == 0 {
+		c.DownlinkRateBps = netsim.DefaultServerRateBps
 	}
-	if cfg.DownlinkRateBps == 0 {
-		cfg.DownlinkRateBps = netsim.DefaultServerRateBps
+	quadSize := c.TotalBuffer / c.Quadrants
+	queuesPerQuad := 0
+	if c.Ports > 0 {
+		queuesPerQuad = (c.Ports + c.Quadrants - 1) / c.Quadrants
 	}
-	quadSize := cfg.TotalBuffer / cfg.Quadrants
-	queuesPerQuad := (cfg.Ports + cfg.Quadrants - 1) / cfg.Quadrants
-	if cfg.DedicatedPerQueue == 0 {
+	if c.DedicatedPerQueue == 0 {
 		// Paper: "a small amount is made available as dedicated buffer for
 		// each queue, and the rest, about 3.6MB, is shared". Derive the
 		// dedicated reserve from that shared target.
 		sharedTarget := 3600 << 10
 		if quadSize > sharedTarget && queuesPerQuad > 0 {
-			cfg.DedicatedPerQueue = (quadSize - sharedTarget) / queuesPerQuad
+			c.DedicatedPerQueue = (quadSize - sharedTarget) / queuesPerQuad
 		} else {
-			cfg.DedicatedPerQueue = 16 << 10
+			c.DedicatedPerQueue = 16 << 10
 		}
 	}
-	sharedCap := quadSize - cfg.DedicatedPerQueue*queuesPerQuad
-	if sharedCap <= 0 {
-		panic(fmt.Sprintf("switchsim: dedicated reserves (%d x %d) exceed quadrant size %d",
-			cfg.DedicatedPerQueue, queuesPerQuad, quadSize))
+	return c
+}
+
+// Validate reports whether the configuration (after defaults) can build a
+// working switch. Config-driven tools should call it before New, which
+// treats an invalid configuration as an invariant violation.
+func (c Config) Validate() error {
+	if c.Ports <= 0 {
+		return errors.New("switchsim: switch needs at least one port")
 	}
+	c = c.withDefaults()
+	quadSize := c.TotalBuffer / c.Quadrants
+	queuesPerQuad := (c.Ports + c.Quadrants - 1) / c.Quadrants
+	if sharedCap := quadSize - c.DedicatedPerQueue*queuesPerQuad; sharedCap <= 0 {
+		return fmt.Errorf("switchsim: dedicated reserves (%d x %d) exceed quadrant size %d",
+			c.DedicatedPerQueue, queuesPerQuad, quadSize)
+	}
+	return nil
+}
+
+// New builds a switch. Per-port sinks must be wired with ConnectPort before
+// traffic flows.
+func New(eng *sim.Engine, cfg Config) *Switch {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	cfg = cfg.withDefaults()
+	queuesPerQuad := (cfg.Ports + cfg.Quadrants - 1) / cfg.Quadrants
+	sharedCap := cfg.TotalBuffer/cfg.Quadrants - cfg.DedicatedPerQueue*queuesPerQuad
 
 	sw := &Switch{
 		cfg:               cfg,

@@ -1,0 +1,100 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Control-plane errors. Both are retryable from the caller's point of view:
+// a failed RPC may succeed on the next attempt, and a down host may reboot.
+var (
+	// ErrHostDown is returned when the target host is crashed at the time
+	// the RPC would be delivered.
+	ErrHostDown = errors.New("testbed: host unreachable")
+	// ErrRPCFailed is returned when the control-plane itself loses the
+	// request or response (seeded random failure).
+	ErrRPCFailed = errors.New("testbed: control rpc failed")
+)
+
+// ControlConfig parameterizes the rack's control plane — the path the
+// SyncMillisampler controller uses to start runs on and harvest results from
+// individual servers. The zero value is a reliable control plane with small
+// default latencies.
+type ControlConfig struct {
+	// FailProb is the per-RPC probability that the request or response is
+	// lost in the control plane (independent of host health).
+	FailProb float64
+	// RTT is the round-trip latency of a successful RPC (default 200 µs).
+	RTT sim.Time
+	// Timeout is how long a lost or unreachable RPC takes to be reported to
+	// the caller (default 2 ms).
+	Timeout sim.Time
+}
+
+func (c ControlConfig) withDefaults() ControlConfig {
+	if c.RTT <= 0 {
+		c.RTT = 200 * sim.Microsecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * sim.Millisecond
+	}
+	return c
+}
+
+// ControlPlane models the collection RPC path between the rack controller
+// and its servers. Unlike the data plane it does not traverse the simulated
+// switch: production control traffic uses a separate management network, so
+// only its failure and latency behaviour matters here.
+type ControlPlane struct {
+	eng *sim.Engine
+	cfg ControlConfig
+	rng *sim.RNG
+
+	// Calls counts issued RPCs; Failures those lost in the control plane;
+	// Unreachable those that found the host down.
+	Calls       int64
+	Failures    int64
+	Unreachable int64
+}
+
+// NewControlPlane builds a control plane on the engine with its own seeded
+// RNG stream, so fault outcomes are independent of data-plane randomness.
+func NewControlPlane(eng *sim.Engine, cfg ControlConfig, rng *sim.RNG) *ControlPlane {
+	return &ControlPlane{eng: eng, cfg: cfg.withDefaults(), rng: rng}
+}
+
+// Config returns the active configuration (with defaults applied).
+func (cp *ControlPlane) Config() ControlConfig { return cp.cfg }
+
+// Call issues an RPC against host h. On success, op runs at delivery time on
+// the host and done(nil) fires one RTT after the call. On a control-plane
+// loss or a down host, done fires with the error after the configured
+// timeout; op does not run. done must not be nil; op may be.
+func (cp *ControlPlane) Call(h *netsim.Host, op func(), done func(error)) {
+	cp.Calls++
+	if cp.cfg.FailProb > 0 && cp.rng.Bool(cp.cfg.FailProb) {
+		cp.Failures++
+		cp.eng.After(cp.cfg.Timeout, func() { done(ErrRPCFailed) })
+		return
+	}
+	cp.eng.After(cp.cfg.RTT/2, func() {
+		if h.Down() {
+			cp.Unreachable++
+			wait := cp.cfg.Timeout - cp.cfg.RTT/2
+			if wait < 0 {
+				wait = 0
+			}
+			cp.eng.After(wait, func() {
+				done(fmt.Errorf("host %d: %w", h.ID, ErrHostDown))
+			})
+			return
+		}
+		if op != nil {
+			op()
+		}
+		cp.eng.After(cp.cfg.RTT-cp.cfg.RTT/2, func() { done(nil) })
+	})
+}

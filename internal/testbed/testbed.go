@@ -5,8 +5,6 @@
 package testbed
 
 import (
-	"fmt"
-
 	"repro/internal/clock"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -37,6 +35,9 @@ type RackConfig struct {
 	// ClockModel is the host time-synchronization quality (default: the
 	// paper's sub-millisecond NTP deployment).
 	ClockModel clock.SyncModel
+	// Control parameterizes the collection control plane (harvest RPC
+	// latency and failure probability). The zero value is reliable.
+	Control ControlConfig
 	// Seed drives all randomness in the rack.
 	Seed uint64
 }
@@ -72,15 +73,21 @@ const RemoteIDBase netsim.HostID = 1 << 16
 
 // Rack is an assembled topology.
 type Rack struct {
-	Cfg    RackConfig
-	Eng    *sim.Engine
-	RNG    *sim.RNG
-	Switch *switchsim.Switch
+	Cfg     RackConfig
+	Eng     *sim.Engine
+	RNG     *sim.RNG
+	Switch  *switchsim.Switch
+	Control *ControlPlane
 
 	Servers   []*netsim.Host
 	ServerEPs []*transport.Endpoint
 	Remotes   []*netsim.Host
 	RemoteEPs []*transport.Endpoint
+
+	// UnroutableDrops counts segments addressed to hosts outside the
+	// topology. The fabric drops them like any real network would; a
+	// nonzero count usually indicates a misconfigured workload.
+	UnroutableDrops int64
 
 	portOf map[netsim.HostID]int
 }
@@ -99,11 +106,15 @@ func NewRack(cfg RackConfig) *Rack {
 	sw := switchsim.New(eng, swCfg)
 
 	r := &Rack{
-		Cfg:    cfg,
-		Eng:    eng,
-		RNG:    rng,
-		Switch: sw,
-		portOf: make(map[netsim.HostID]int, cfg.Servers),
+		Cfg:     cfg,
+		Eng:     eng,
+		RNG:     rng,
+		Switch:  sw,
+		// The control RNG is seeded independently (not forked from the rack
+		// stream) so enabling control-plane faults never perturbs workload
+		// or clock randomness.
+		Control: NewControlPlane(eng, cfg.Control, sim.NewRNG(cfg.Seed^0xC7A1D40B)),
+		portOf:  make(map[netsim.HostID]int, cfg.Servers),
 	}
 
 	clockRNG := rng.Fork(0xC10C)
@@ -156,13 +167,14 @@ func (r *Rack) routeFromUplink(seg *netsim.Segment) {
 	if dst >= RemoteIDBase {
 		idx := int(dst - RemoteIDBase)
 		if idx < 0 || idx >= len(r.Remotes) {
-			panic(fmt.Sprintf("testbed: no such remote %d", dst))
+			r.UnroutableDrops++
+			return
 		}
 		h := r.Remotes[idx]
 		r.Eng.After(r.Cfg.FabricDelay, func() { h.Inject(seg) })
 		return
 	}
-	panic(fmt.Sprintf("testbed: unroutable destination %d", dst))
+	r.UnroutableDrops++
 }
 
 // routeFromRemote carries remote-host egress: to a rack server via the
@@ -185,5 +197,5 @@ func (r *Rack) routeFromRemote(seg *netsim.Segment) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("testbed: unroutable destination %d", dst))
+	r.UnroutableDrops++
 }

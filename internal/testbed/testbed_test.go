@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/netsim"
@@ -114,18 +115,72 @@ func TestRemoteToRemotePath(t *testing.T) {
 	}
 }
 
-func TestUnroutableDestinationPanics(t *testing.T) {
+func TestUnroutableDestinationDropped(t *testing.T) {
 	r := NewRack(RackConfig{Servers: 2, Remotes: 2, Seed: 7})
-	defer func() {
-		if recover() == nil {
-			t.Error("unroutable destination did not panic")
-		}
-	}()
 	seg := &netsim.Segment{
 		Flow: netsim.FlowKey{Src: r.Remotes[0].ID, Dst: 9999, SrcPort: 1, DstPort: 2},
 		Size: 100,
 	}
 	r.routeFromRemote(seg)
+	r.routeFromUplink(seg)
+	if r.UnroutableDrops != 2 {
+		t.Errorf("UnroutableDrops = %d, want 2", r.UnroutableDrops)
+	}
+}
+
+func TestControlPlaneReliableByDefault(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 2, Seed: 8})
+	var ran, doneAt int
+	var errGot error
+	r.Control.Call(r.Servers[0], func() { ran++ }, func(err error) { errGot = err; doneAt++ })
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	if ran != 1 || doneAt != 1 || errGot != nil {
+		t.Fatalf("ran=%d done=%d err=%v", ran, doneAt, errGot)
+	}
+	if r.Control.Calls != 1 || r.Control.Failures != 0 {
+		t.Errorf("calls=%d failures=%d", r.Control.Calls, r.Control.Failures)
+	}
+}
+
+func TestControlPlaneHostDown(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 2, Seed: 9})
+	r.Servers[0].Crash(50 * sim.Millisecond)
+	var errGot error
+	ran := false
+	r.Control.Call(r.Servers[0], func() { ran = true }, func(err error) { errGot = err })
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	if ran {
+		t.Error("op ran against a down host")
+	}
+	if !errors.Is(errGot, ErrHostDown) {
+		t.Errorf("err = %v, want ErrHostDown", errGot)
+	}
+	if r.Control.Unreachable != 1 {
+		t.Errorf("Unreachable = %d", r.Control.Unreachable)
+	}
+}
+
+func TestControlPlaneSeededFailures(t *testing.T) {
+	r := NewRack(RackConfig{Servers: 2, Seed: 10, Control: ControlConfig{FailProb: 0.5}})
+	failures := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		r.Control.Call(r.Servers[0], nil, func(err error) {
+			if errors.Is(err, ErrRPCFailed) {
+				failures++
+			} else if err != nil {
+				t.Errorf("unexpected error %v", err)
+			}
+		})
+	}
+	r.Eng.RunUntil(10 * sim.Millisecond)
+	frac := float64(failures) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("failure fraction %v, want ~0.5", frac)
+	}
+	if r.Control.Failures != int64(failures) {
+		t.Errorf("Failures counter %d != observed %d", r.Control.Failures, failures)
+	}
 }
 
 func TestDeterministicTopology(t *testing.T) {

@@ -2,39 +2,87 @@
 // datasets, and a host-local run store with retention, mirroring the
 // production tool's "compressed and stored on the host for about a week"
 // behaviour (paper §4.2).
+//
+// Writes are atomic (temp file + rename), so a crash mid-write never leaves
+// a half-written file behind under the final name, and corrupt files are
+// reported with a typed error the caller can match with errors.Is /
+// errors.As.
 package trace
 
 import (
 	"compress/gzip"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 )
 
+// ErrCorrupt matches (via errors.Is) any load failure caused by a damaged
+// file: bad gzip framing, a failed checksum, truncation, or an undecodable
+// gob stream.
+var ErrCorrupt = errors.New("trace: corrupt file")
+
+// CorruptError reports an unreadable trace file. It wraps the underlying
+// decode error and matches ErrCorrupt.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("trace: corrupt file %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is(err, ErrCorrupt) match without callers knowing the
+// concrete type.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
 // Save writes v to path as gzip-compressed gob. Parent directories are
-// created as needed.
+// created as needed. The write is atomic: data lands in a temp file in the
+// same directory and is renamed over path only after a successful encode and
+// close, so readers never observe a partially written file.
 func Save(path string, v any) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
 	zw := gzip.NewWriter(f)
 	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		cleanup()
 		return fmt.Errorf("trace: encode %s: %w", path, err)
 	}
 	if err := zw.Close(); err != nil {
+		cleanup()
 		return fmt.Errorf("trace: %w", err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
-// Load reads gzip-compressed gob from path into v.
+// Load reads gzip-compressed gob from path into v. Damaged files yield a
+// *CorruptError (matching ErrCorrupt); a missing file yields the underlying
+// fs error (matching fs.ErrNotExist).
 func Load(path string, v any) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -43,11 +91,35 @@ func Load(path string, v any) error {
 	defer f.Close()
 	zr, err := gzip.NewReader(f)
 	if err != nil {
-		return fmt.Errorf("trace: %s: %w", path, err)
+		return &CorruptError{Path: path, Err: err}
 	}
 	defer zr.Close()
 	if err := gob.NewDecoder(zr).Decode(v); err != nil {
-		return fmt.Errorf("trace: decode %s: %w", path, err)
+		return &CorruptError{Path: path, Err: err}
+	}
+	// Drain the remainder so the gzip checksum (verified at stream end)
+	// catches tail corruption the decoder didn't need to read.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return &CorruptError{Path: path, Err: err}
+	}
+	return nil
+}
+
+// verifyFile checks a file's gzip integrity (framing and checksum) without
+// needing the gob's concrete type.
+func verifyFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return &CorruptError{Path: path, Err: err}
+	}
+	defer zr.Close()
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return &CorruptError{Path: path, Err: err}
 	}
 	return nil
 }
@@ -92,9 +164,15 @@ func (s *Store) ids() ([]int, error) {
 	var ids []int
 	for _, e := range entries {
 		var id int
-		if _, err := fmt.Sscanf(e.Name(), "run-%d.gob.gz", &id); err == nil {
-			ids = append(ids, id)
+		if _, err := fmt.Sscanf(e.Name(), "run-%d.gob.gz", &id); err != nil {
+			continue
 		}
+		// Sscanf ignores trailing input, so demand an exact name: temp and
+		// quarantined files must not count as runs.
+		if e.Name() != fmt.Sprintf("run-%08d.gob.gz", id) {
+			continue
+		}
+		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	return ids, nil
@@ -125,3 +203,28 @@ func (s *Store) Get(id int, v any) error { return Load(s.path(id), v) }
 
 // IDs lists retained run ids in ascending order.
 func (s *Store) IDs() ([]int, error) { return s.ids() }
+
+// Verify scans every retained run for corruption (gzip framing and
+// checksum). Damaged files are quarantined — renamed aside with a .corrupt
+// suffix so they stop showing up in IDs but remain on disk for inspection —
+// and their ids are returned.
+func (s *Store) Verify() (quarantined []int, err error) {
+	ids, err := s.ids()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		verr := verifyFile(s.path(id))
+		if verr == nil {
+			continue
+		}
+		if !errors.Is(verr, ErrCorrupt) {
+			return quarantined, verr
+		}
+		if rerr := os.Rename(s.path(id), s.path(id)+".corrupt"); rerr != nil {
+			return quarantined, fmt.Errorf("trace: quarantine: %w", rerr)
+		}
+		quarantined = append(quarantined, id)
+	}
+	return quarantined, nil
+}

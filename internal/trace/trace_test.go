@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -76,5 +78,119 @@ func TestStoreResumesNumbering(t *testing.T) {
 	id2, _ := s2.Put(rec{Name: "b"})
 	if id2 != id1+1 {
 		t.Errorf("numbering did not resume: %d then %d", id1, id2)
+	}
+}
+
+func TestSaveAtomicNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.gob.gz")
+	if err := Save(path, rec{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing encode (channels are not gob-encodable) must leave neither
+	// a temp file nor a partial file under the final name.
+	bad := filepath.Join(dir, "bad.gob.gz")
+	if err := Save(bad, make(chan int)); err == nil {
+		t.Fatal("encoding a channel did not error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "data.gob.gz" {
+			t.Errorf("unexpected leftover file %q", e.Name())
+		}
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.gob.gz")
+	if err := Save(path, rec{Name: "x", Vals: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation: the gzip stream ends before its checksum.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	err = Load(path, &out)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file: got %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Path != path {
+		t.Errorf("corrupt error did not carry the path: %v", err)
+	}
+
+	// Garbage header: not gzip at all.
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage file: got %v, want ErrCorrupt", err)
+	}
+
+	// Missing files are NOT corrupt: callers distinguish the two.
+	if err := Load(filepath.Join(dir, "nope"), &out); errors.Is(err, ErrCorrupt) {
+		t.Error("missing file classified as corrupt")
+	}
+}
+
+func TestStoreVerifyQuarantinesCorrupt(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var put []int
+	for i := 0; i < 4; i++ {
+		id, err := s.Put(rec{Name: "r", Vals: []float64{float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		put = append(put, id)
+	}
+	// Damage run 1 (truncate) and run 2 (bit flip in the middle).
+	for _, id := range put[1:3] {
+		raw, err := os.ReadFile(s.path(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == put[1] {
+			raw = raw[:len(raw)-4]
+		} else {
+			raw[len(raw)/2] ^= 0xFF
+		}
+		if err := os.WriteFile(s.path(id), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 2 || bad[0] != put[1] || bad[1] != put[2] {
+		t.Fatalf("quarantined %v, want %v", bad, put[1:3])
+	}
+	ids, err := s.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != put[0] || ids[1] != put[3] {
+		t.Fatalf("retained ids %v after quarantine, want %v", ids, []int{put[0], put[3]})
+	}
+	// The quarantined bytes stay on disk for inspection.
+	if _, err := os.Stat(s.path(put[1]) + ".corrupt"); err != nil {
+		t.Errorf("quarantined file gone: %v", err)
+	}
+	// Healthy runs still load.
+	var out rec
+	if err := s.Get(put[3], &out); err != nil || out.Vals[0] != 3 {
+		t.Errorf("healthy run unreadable after Verify: %v %+v", err, out)
 	}
 }

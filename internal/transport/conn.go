@@ -48,7 +48,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Validate reports whether the options (after defaults) name a known
+// congestion control. Config-driven tools should call it before Connect,
+// which treats an unknown CC as an invariant violation.
+func (o Options) Validate() error {
+	switch o.withDefaults().CC {
+	case "dctcp", "cubic", "reno":
+		return nil
+	}
+	return fmt.Errorf("transport: unknown congestion control %q", o.CC)
+}
+
 func (o Options) newCC() CongestionControl {
+	if err := o.Validate(); err != nil {
+		panic(err.Error())
+	}
 	iw := o.InitialWindowSegs * o.MSS
 	switch o.CC {
 	case "dctcp":

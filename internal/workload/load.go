@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/netsim"
@@ -149,15 +150,16 @@ func (l *ServerLoad) burst() {
 // InstallRack installs one profile per server (profiles[i] drives server i)
 // and returns the loads. Each load gets a forked RNG stream so racks are
 // reproducible independent of ordering.
-func InstallRack(rack *testbed.Rack, profiles []Profile, rng *sim.RNG) []*ServerLoad {
+func InstallRack(rack *testbed.Rack, profiles []Profile, rng *sim.RNG) ([]*ServerLoad, error) {
 	if len(profiles) != len(rack.Servers) {
-		panic("workload: one profile per server required")
+		return nil, fmt.Errorf("workload: %d profiles for %d servers (need one per server)",
+			len(profiles), len(rack.Servers))
 	}
 	loads := make([]*ServerLoad, len(profiles))
 	for i, p := range profiles {
 		loads[i] = Install(rack, i, p, rng.Fork(uint64(i)))
 	}
-	return loads
+	return loads, nil
 }
 
 // egressLoad is reserved for future egress-side workloads; the paper's

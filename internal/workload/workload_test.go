@@ -14,10 +14,14 @@ import (
 func sampleRack(t *testing.T, profiles []Profile, seed uint64, buckets int) *analysis.RunAnalysis {
 	t.Helper()
 	rack := testbed.NewRack(testbed.RackConfig{Servers: len(profiles), Remotes: 96, Seed: seed})
-	InstallRack(rack, profiles, rack.RNG.Fork(1))
+	if _, err := InstallRack(rack, profiles, rack.RNG.Fork(1)); err != nil {
+		t.Fatal(err)
+	}
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: buckets, CountFlows: true})
 	const warmup = 150 * sim.Millisecond
-	ctrl.Schedule(warmup)
+	if err := ctrl.Schedule(warmup); err != nil {
+		t.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(warmup) + sim.Millisecond)
 	if !ctrl.Done() {
 		t.Fatal("controller did not finish")
@@ -128,7 +132,9 @@ func TestMulticastBeaconSynchronizedArrival(t *testing.T) {
 	beacon := NewMulticastBeacon(rack, subs, 100*sim.Millisecond, 256<<10, 2_000_000_000)
 	beacon.Start()
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 500, CountFlows: false})
-	ctrl.Schedule(50 * sim.Millisecond)
+	if err := ctrl.Schedule(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(50*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {
@@ -172,7 +178,9 @@ func TestBurstGenIdentifiesSimultaneousBurstyServers(t *testing.T) {
 	gen := NewBurstGen(rack, clients, 100*sim.Millisecond, 1_800_000)
 	gen.Start()
 	ctrl := core.NewController(rack, core.Config{Interval: sim.Millisecond, Buckets: 600, CountFlows: false})
-	ctrl.Schedule(50 * sim.Millisecond)
+	if err := ctrl.Schedule(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	rack.Eng.RunUntil(ctrl.HarvestAt(50*sim.Millisecond) + sim.Millisecond)
 	sr, err := ctrl.Result()
 	if err != nil {

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh runs the full verification gate: build, vet, and the test suite
+# under the race detector. CI and `make check` both go through here so the
+# gate cannot drift between them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "check: all green"
