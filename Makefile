@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race
+.PHONY: build test check vet race bench
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the verification gate: build + vet + race-enabled tests.
+# check is the verification gate: build (release and simdebug) + vet +
+# race-enabled tests.
 check:
 	./scripts/check.sh
+
+# bench runs the benchmark regression gate and refreshes BENCH_PR2.json.
+bench:
+	./scripts/bench.sh

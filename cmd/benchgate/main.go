@@ -1,0 +1,268 @@
+// benchgate is the benchmark regression gate behind `make bench`.
+//
+// Usage:
+//
+//	benchgate run -out BENCH.json [-bench REGEX] [-micro-time 1s] [-fig-count 3]
+//	benchgate compare -old BENCH.json -new NEW.json [-tol 0.50]
+//
+// `run` executes the repository benchmarks (the §4.3 microbenchmarks plus
+// the per-figure regeneration benchmarks on the small preset), measures the
+// wall time and determinism digest of a full small-preset fleet generation,
+// and writes everything as JSON. `compare` gates a new result file against a
+// previous one: ns/op (on well-sampled benchmarks) and generation wall time
+// may regress by at most the given tolerance, allocs/op may not regress at
+// all from a zero baseline, and the dataset digest must match exactly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// BenchResult is one benchmark's measured cost.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// GenResult is the small-preset fleet generation measurement.
+type GenResult struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Workers     int     `json:"workers"`
+	Racks       int     `json:"racks"`
+	Runs        int     `json:"runs"`
+	Digest      string  `json:"digest"`
+}
+
+// File is the on-disk benchmark record (BENCH_PR2.json).
+type File struct {
+	Schema      int                    `json:"schema"`
+	CreatedUnix int64                  `json:"created_unix"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Benchmarks  map[string]BenchResult `json:"benchmarks"`
+	Generate    GenResult              `json:"generate"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "benchgate: want subcommand `run` or `compare`")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: unknown subcommand %q\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
+	micro := fs.String("bench", "Sampler|PcapLike|Engine", "regex of microbenchmarks (default benchtime)")
+	microTime := fs.String("micro-time", "1s", "benchtime for the microbenchmarks")
+	figs := fs.String("figs", "Fig|Table", "regex of figure/table benchmarks (fixed iteration count)")
+	figCount := fs.Int("fig-count", 3, "iterations for figure/table benchmarks")
+	fs.Parse(args)
+
+	results := make(map[string]BenchResult)
+	// Two invocations: time-based sampling for the nanosecond-scale §4.3
+	// paths, a fixed small iteration count for the experiment regenerations
+	// (each is a full artifact rebuild; 1s of them would take minutes).
+	runGoBench(results, *micro, *microTime)
+	runGoBench(results, *figs, strconv.Itoa(*figCount)+"x")
+
+	gen, err := measureGenerate()
+	if err != nil {
+		fatal(err)
+	}
+
+	f := File{
+		Schema:      1,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchmarks:  results,
+		Generate:    gen,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchgate: %d benchmarks, generate wall %.2fs, written to %s\n",
+		len(results), gen.WallSeconds, *out)
+}
+
+// minGateIters is the iteration floor below which a benchmark's ns/op is
+// recorded but not regression-gated: a 3-iteration sample of a
+// microsecond-scale run says nothing about its true cost.
+const minGateIters = 1000
+
+// benchLine matches `go test -bench` result rows, with or without -benchmem
+// columns. The -N CPU suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func runGoBench(into map[string]BenchResult, pattern, benchtime string) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	outb, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("go test -bench %q: %w", pattern, err))
+	}
+	for _, line := range strings.Split(string(outb), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := BenchResult{}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		into[m[1]] = r
+	}
+}
+
+// measureGenerate times one full small-preset collection day. Workers is
+// pinned to 2 so the number is comparable across machines and matches the
+// golden-digest test's configuration.
+func measureGenerate() (GenResult, error) {
+	cfg := fleet.SmallConfig()
+	cfg.Workers = 2
+	t0 := time.Now()
+	ds, err := fleet.Generate(cfg)
+	if err != nil {
+		return GenResult{}, err
+	}
+	wall := time.Since(t0)
+	digest, err := ds.Digest()
+	if err != nil {
+		return GenResult{}, err
+	}
+	return GenResult{
+		WallSeconds: wall.Seconds(),
+		Workers:     cfg.Workers,
+		Racks:       len(ds.Racks),
+		Runs:        len(ds.Runs),
+		Digest:      digest,
+	}, nil
+}
+
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline JSON")
+	newPath := fs.String("new", "", "candidate JSON")
+	tol := fs.Float64("tol", 0.50, "allowed fractional regression in ns/op and wall time")
+	fs.Parse(args)
+	if *oldPath == "" || *newPath == "" {
+		fatal(fmt.Errorf("compare: -old and -new are required"))
+	}
+	older, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newer, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+	names := make([]string, 0, len(older.Benchmarks))
+	for name := range older.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ob := older.Benchmarks[name]
+		nb, ok := newer.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from new results", name))
+			continue
+		}
+		// The figure/table benchmarks run a handful of iterations — too few
+		// for ns/op to be more than noise — so their timing is recorded but
+		// not gated. Their allocs/op is an exact count and is gated below,
+		// as is ns/op for the well-sampled microbenchmarks.
+		gateNs := ob.Iterations >= minGateIters && nb.Iterations >= minGateIters
+		if gateNs && nb.NsPerOp > ob.NsPerOp*(1+*tol) {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs %.1f baseline (+%.0f%%, tol %.0f%%)",
+				name, nb.NsPerOp, ob.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1), 100**tol))
+		}
+		// Allocation regressions are gated strictly: a zero-alloc path must
+		// stay zero-alloc, and any other path may not grow beyond tolerance.
+		if ob.AllocsPerOp == 0 && nb.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs zero-alloc baseline",
+				name, nb.AllocsPerOp))
+		} else if nb.AllocsPerOp > ob.AllocsPerOp*(1+*tol) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs %.0f baseline",
+				name, nb.AllocsPerOp, ob.AllocsPerOp))
+		}
+	}
+	og, ng := older.Generate, newer.Generate
+	if ng.WallSeconds > og.WallSeconds*(1+*tol) {
+		failures = append(failures, fmt.Sprintf("generate: %.2fs wall vs %.2fs baseline (+%.0f%%, tol %.0f%%)",
+			ng.WallSeconds, og.WallSeconds, 100*(ng.WallSeconds/og.WallSeconds-1), 100**tol))
+	}
+	if og.Digest != "" && ng.Digest != og.Digest {
+		failures = append(failures, fmt.Sprintf("generate: dataset digest drifted (%s -> %s): behavior change, not a perf change",
+			short(og.Digest), short(ng.Digest)))
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(failures), *oldPath)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: no regressions vs %s (%d benchmarks, tol %.0f%%)\n",
+		*oldPath, len(names), 100**tol)
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func short(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

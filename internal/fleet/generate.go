@@ -98,14 +98,16 @@ type Dataset struct {
 	Racks []RackMeta
 	Runs  []RunSummary
 
+	idxOnce sync.Once
 	rackIdx map[string]int
 }
 
-// Rack returns the metadata of one rack.
+// Rack returns the metadata of one rack. Safe for concurrent readers:
+// Generate builds the index before returning, and a dataset loaded from gob
+// (where the unexported index is absent) builds it exactly once under the
+// sync.Once.
 func (d *Dataset) Rack(region string, id int) *RackMeta {
-	if d.rackIdx == nil {
-		d.buildIndex()
-	}
+	d.ensureIndex()
 	i, ok := d.rackIdx[rackKey(region, id)]
 	if !ok {
 		return nil
@@ -115,11 +117,14 @@ func (d *Dataset) Rack(region string, id int) *RackMeta {
 
 func rackKey(region string, id int) string { return fmt.Sprintf("%s/%d", region, id) }
 
-func (d *Dataset) buildIndex() {
-	d.rackIdx = make(map[string]int, len(d.Racks))
-	for i := range d.Racks {
-		d.rackIdx[rackKey(d.Racks[i].Region, d.Racks[i].ID)] = i
-	}
+func (d *Dataset) ensureIndex() {
+	d.idxOnce.Do(func() {
+		idx := make(map[string]int, len(d.Racks))
+		for i := range d.Racks {
+			idx[rackKey(d.Racks[i].Region, d.Racks[i].ID)] = i
+		}
+		d.rackIdx = idx
+	})
 }
 
 // ClassOf returns the measured class of a run's rack.
@@ -260,30 +265,47 @@ func Generate(cfg Config) (*Dataset, error) {
 		}
 	}
 
+	// cfg.Workers long-lived workers pull job indices from a channel: the
+	// goroutine count stays bounded by the worker count instead of the job
+	// count, and each rack-hour's cost is paid where it runs. Each worker
+	// writes only its own runs[ji] slot, so no further synchronization is
+	// needed; the result is independent of worker count or scheduling.
 	runs := make([]RunSummary, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sr, delta, err := SimulateRun(cfg, racks[j.rack], j.hour)
-			if err != nil {
-				// A failed rack-hour is recorded, not fatal: the rest of the
-				// day's schedule proceeds and the dataset keeps the gap.
-				runs[ji] = RunSummary{
-					Region:     racks[j.rack].Region,
-					RackID:     racks[j.rack].ID,
-					Hour:       j.hour,
-					FailReason: err.Error(),
-				}
-				return
-			}
-			runs[ji] = summarize(racks[j.rack], j.hour, sr, delta)
-		}(ji, j)
+	workers := cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobc := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range jobc {
+				j := jobs[ji]
+				sr, delta, err := SimulateRun(cfg, racks[j.rack], j.hour)
+				if err != nil {
+					// A failed rack-hour is recorded, not fatal: the rest of
+					// the day's schedule proceeds and the dataset keeps the gap.
+					runs[ji] = RunSummary{
+						Region:     racks[j.rack].Region,
+						RackID:     racks[j.rack].ID,
+						Hour:       j.hour,
+						FailReason: err.Error(),
+					}
+					continue
+				}
+				runs[ji] = summarize(racks[j.rack], j.hour, sr, delta)
+			}
+		}()
+	}
+	for ji := range jobs {
+		jobc <- ji
+	}
+	close(jobc)
 	wg.Wait()
 	collected := 0
 	for i := range runs {
@@ -314,7 +336,7 @@ func Generate(cfg Config) (*Dataset, error) {
 // classify labels racks from measured busy-hour contention: the top 20% of
 // RegA racks become RegA-High, exactly as the paper partitions Figure 9.
 func (d *Dataset) classify() {
-	d.buildIndex()
+	d.ensureIndex()
 	// Busy-hour (or nearest sampled hour) average contention per rack.
 	busy := make(map[string]float64)
 	bestDist := make(map[string]int)

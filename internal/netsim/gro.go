@@ -64,6 +64,9 @@ func (g *groState) offer(seg *Segment) {
 			e.seg.Size += seg.Payload()
 			e.seg.Ack = seg.Ack
 			e.seg.Flags |= seg.Flags & FlagCE // CE propagates into the merge
+			// The absorbed segment's path ends here; the merge carries its
+			// bytes onward.
+			g.host.pool.Put(seg)
 			if e.seg.Size >= GROMaxBytes {
 				g.flush(seg.Flow)
 			}
@@ -95,5 +98,15 @@ func (g *groState) flush(flow FlowKey) {
 func (g *groState) flushAll() {
 	for flow := range g.pending {
 		g.flush(flow)
+	}
+}
+
+// dropAll discards everything held by the aggregator without delivering —
+// the host crashed, so the merged bytes are lost and the segments recycle.
+func (g *groState) dropAll() {
+	for flow, e := range g.pending {
+		delete(g.pending, flow)
+		g.host.eng.Cancel(e.timer)
+		g.host.pool.Put(e.seg)
 	}
 }

@@ -55,8 +55,10 @@ type Host struct {
 	Cores int
 
 	eng     *sim.Engine
+	pool    *SegmentPool
 	nic     *Link // egress serialization at the host's allocated rate
 	out     Forwarder
+	fwd     Deliver // pre-bound NIC continuation; avoids a closure per Send
 	ingress []Filter
 	egress  []Filter
 	handler ProtocolHandler
@@ -105,6 +107,10 @@ type HostConfig struct {
 	// PropDelay is the one-way server-to-ToR propagation delay.
 	PropDelay sim.Time
 	Clock     *clock.Host
+	// Pool is the segment pool shared along this host's packet path. Leave
+	// nil for a private pool; topologies (testbed.Rack) share one pool per
+	// engine so segments recycle across the whole path.
+	Pool *SegmentPool
 }
 
 // DefaultServerRateBps is the per-server allocated line rate (12.5 Gbps).
@@ -122,13 +128,19 @@ func NewHost(eng *sim.Engine, cfg HostConfig) *Host {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewHost(clock.PerfectSyncModel(), sim.NewRNG(uint64(cfg.ID)))
 	}
-	return &Host{
+	if cfg.Pool == nil {
+		cfg.Pool = NewSegmentPool()
+	}
+	h := &Host{
 		ID:    cfg.ID,
 		Clock: cfg.Clock,
 		Cores: cfg.Cores,
 		eng:   eng,
+		pool:  cfg.Pool,
 		nic:   NewLink(eng, cfg.LinkRateBps, cfg.PropDelay),
 	}
+	h.nic.SetPool(cfg.Pool)
+	return h
 }
 
 // Engine returns the host's simulation engine.
@@ -137,8 +149,15 @@ func (h *Host) Engine() *sim.Engine { return h.eng }
 // LineRateBps returns the host's allocated NIC rate.
 func (h *Host) LineRateBps() int64 { return h.nic.RateBps }
 
+// Pool returns the host's segment pool; the transport stack draws its
+// outgoing segments from it.
+func (h *Host) Pool() *SegmentPool { return h.pool }
+
 // SetForwarder wires the host's egress path.
-func (h *Host) SetForwarder(f Forwarder) { h.out = f }
+func (h *Host) SetForwarder(f Forwarder) {
+	h.out = f
+	h.fwd = func(s *Segment) { h.out.Forward(s) }
+}
 
 // SetProtocolHandler installs the transport-layer receive entry point.
 func (h *Host) SetProtocolHandler(p ProtocolHandler) { h.handler = p }
@@ -192,13 +211,22 @@ func (h *Host) Crash(downtime sim.Time) {
 	}
 	h.isDown = true
 	h.downUntil = until
-	// Soft-irq state and filter chains do not survive the crash.
+	// Soft-irq state and filter chains do not survive the crash. Segments
+	// held by the stall and GRO models are dropped, which for pooled
+	// segments means recycled: the crash terminates their path.
 	h.CrashDrops += int64(len(h.stalled))
+	for i, seg := range h.stalled {
+		h.pool.Put(seg)
+		h.stalled[i] = nil
+	}
 	h.stalled = nil
 	h.stalledUntil = 0
 	h.ingress = nil
 	h.egress = nil
-	h.gro = nil
+	if h.gro != nil {
+		h.gro.dropAll()
+		h.gro = nil
+	}
 	for _, fn := range h.crashHooks {
 		fn()
 	}
@@ -224,8 +252,10 @@ func (h *Host) OnCrash(fn func()) { h.crashHooks = append(h.crashHooks, fn) }
 // model, GRO (if enabled), the ingress filter chain on the RSS-selected
 // core, then the protocol handler.
 func (h *Host) Inject(seg *Segment) {
+	checkLive(seg, "Host.Inject")
 	if h.isDown {
 		h.CrashDrops++
+		h.pool.Put(seg)
 		return
 	}
 	if h.NICDropRate > 0 {
@@ -234,6 +264,7 @@ func (h *Host) Inject(seg *Segment) {
 		}
 		if h.nicRNG.Bool(h.NICDropRate) {
 			h.NICDrops++
+			h.pool.Put(seg)
 			return
 		}
 	}
@@ -273,6 +304,9 @@ func (h *Host) flushStall() {
 	}
 }
 
+// deliver terminates a segment's path: ingress filters, the protocol
+// handler, then release back to the pool. Filters and the handler must not
+// retain the segment past their call.
 func (h *Host) deliver(seg *Segment) {
 	now := h.eng.Now()
 	core := h.rssCore(seg)
@@ -282,6 +316,7 @@ func (h *Host) deliver(seg *Segment) {
 	if h.handler != nil {
 		h.handler(seg)
 	}
+	h.pool.Put(seg)
 }
 
 // Send transmits a segment: egress filter chain, then NIC serialization, then
@@ -290,8 +325,10 @@ func (h *Host) Send(seg *Segment) {
 	if h.out == nil {
 		panic(fmt.Sprintf("netsim: host %d has no forwarder", h.ID))
 	}
+	checkLive(seg, "Host.Send")
 	if h.isDown {
 		h.CrashDrops++
+		h.pool.Put(seg)
 		return
 	}
 	h.TxBytes += int64(seg.Size)
@@ -300,7 +337,7 @@ func (h *Host) Send(seg *Segment) {
 	for _, f := range h.egress {
 		f.Handle(now, core, Egress, seg)
 	}
-	h.nic.Send(seg, func(s *Segment) { h.out.Forward(s) })
+	h.nic.Send(seg, h.fwd)
 }
 
 // NICBacklog reports the committed serialization backlog of the host NIC.

@@ -29,12 +29,19 @@ type Link struct {
 	dropRNG  *sim.RNG
 	// Drops counts segments lost to DropRate.
 	Drops int64
+
+	// pool, when set, recycles segments the link drops; a drop terminates the
+	// segment's path, so the link owns the release.
+	pool *SegmentPool
 }
 
 // NewLink creates a link on the engine.
 func NewLink(eng *sim.Engine, rateBps int64, prop sim.Time) *Link {
 	return &Link{eng: eng, RateBps: rateBps, PropDelay: prop}
 }
+
+// SetPool wires the segment pool drops recycle into.
+func (l *Link) SetPool(p *SegmentPool) { l.pool = p }
 
 // SerializationDelay returns how long size bytes occupy the link.
 func (l *Link) SerializationDelay(size int) sim.Time {
@@ -53,6 +60,9 @@ func (l *Link) Send(seg *Segment, deliver Deliver) {
 		}
 		if l.dropRNG.Bool(l.DropRate) {
 			l.Drops++
+			if l.pool != nil {
+				l.pool.Put(seg)
+			}
 			return
 		}
 	}
@@ -64,8 +74,12 @@ func (l *Link) Send(seg *Segment, deliver Deliver) {
 	done := start + l.SerializationDelay(seg.Size)
 	l.busyUntil = done
 	l.TxBytes += int64(seg.Size)
-	l.eng.At(done+l.PropDelay, func() { deliver(seg) })
+	l.eng.AtCall(done+l.PropDelay, linkDeliver, seg, deliver, 0)
 }
+
+// linkDeliver is the pooled-event continuation of Send: a1 is the segment,
+// a2 the Deliver. Both are pointer-shaped, so scheduling it allocates nothing.
+func linkDeliver(a1, a2 any, _ int64) { a2.(Deliver)(a1.(*Segment)) }
 
 // Backlog returns how far in the future the link is already committed,
 // i.e. the local queueing delay a new segment would see.

@@ -1,0 +1,86 @@
+package netsim
+
+// SegmentPool is a per-engine free list of Segments. The simulation engine is
+// single-threaded, so the pool needs no synchronization; one pool is shared
+// by every component on an engine (hosts, switch, transport), and segments
+// may be released into a different pool than they were taken from without
+// harm — the free lists just exchange capacity.
+//
+// Ownership contract (enforced under the `simdebug` build tag, documented in
+// DESIGN.md "Segment ownership & pooling invariants"):
+//
+//   - Get hands out a zeroed segment owned by the caller.
+//   - Ownership moves with the segment along the packet path: emitter ->
+//     host egress -> link -> switch -> host ingress. Whoever terminates the
+//     path (delivers, drops, or absorbs the segment) must Put it exactly
+//     once. Retaining a segment past that point is a use-after-free.
+//   - Put is a no-op for foreign segments (not created by any pool), so test
+//     code may keep injecting stack-constructed segments safely.
+type SegmentPool struct {
+	free []*Segment
+
+	// Gets, News and Puts count pool traffic: Gets total checkouts, News the
+	// subset that had to allocate, Puts returns. Recycle ratio = 1 - News/Gets.
+	Gets uint64
+	News uint64
+	Puts uint64
+}
+
+// NewSegmentPool returns an empty pool.
+func NewSegmentPool() *SegmentPool { return &SegmentPool{} }
+
+// Get returns a zeroed pool-owned segment.
+func (p *SegmentPool) Get() *Segment {
+	p.Gets++
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*s = Segment{pooled: true}
+		return s
+	}
+	p.News++
+	return &Segment{pooled: true}
+}
+
+// Clone returns a pool-owned copy of s's wire fields. The switch-accounting
+// field EnqueuedShared is deliberately not copied: a clone has not been
+// admitted anywhere yet.
+func (p *SegmentPool) Clone(s *Segment) *Segment {
+	c := p.Get()
+	c.Flow = s.Flow
+	c.Group = s.Group
+	c.Seq = s.Seq
+	c.Ack = s.Ack
+	c.Size = s.Size
+	c.Flags = s.Flags
+	return c
+}
+
+// Put releases a segment back to the free list. Foreign (non-pooled)
+// segments are ignored so external injectors keep full ownership of what
+// they pass in. Releasing the same pooled segment twice panics under the
+// simdebug build tag and is ignored otherwise.
+func (p *SegmentPool) Put(s *Segment) {
+	if s == nil || !s.pooled {
+		return
+	}
+	if s.freed {
+		if poolDebug {
+			panic("netsim: segment double-free (released twice into a SegmentPool)")
+		}
+		return
+	}
+	s.freed = true
+	p.Puts++
+	p.free = append(p.free, s)
+}
+
+// checkLive panics under the simdebug build tag when a freed segment is
+// observed on the packet path — a use-after-free of pool memory. The context
+// string names the observing path. In release builds the check compiles away.
+func checkLive(s *Segment, context string) {
+	if poolDebug && s != nil && s.freed {
+		panic("netsim: use of freed segment in " + context)
+	}
+}

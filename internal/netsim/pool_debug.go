@@ -1,0 +1,8 @@
+//go:build simdebug
+
+package netsim
+
+// poolDebug enables the segment-pool double-free and use-after-free checks.
+// Build with `-tags simdebug` (done by `make check`) to turn the checks into
+// panics; in release builds the guarded branches compile away.
+const poolDebug = true

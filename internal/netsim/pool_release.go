@@ -1,0 +1,6 @@
+//go:build !simdebug
+
+package netsim
+
+// poolDebug is off in release builds; see pool_debug.go.
+const poolDebug = false

@@ -94,6 +94,12 @@ type Segment struct {
 	// EnqueuedShared records how many bytes of this segment were accounted
 	// against the shared pool when the switch admitted it; used on dequeue.
 	EnqueuedShared int
+
+	// pooled marks a segment created by a SegmentPool; only those are
+	// recycled on release. freed marks a pooled segment currently sitting in
+	// a free list, backing the simdebug double-free/use-after-free checks.
+	pooled bool
+	freed  bool
 }
 
 // Payload returns the payload byte count (wire size minus header overhead).

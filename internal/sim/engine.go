@@ -5,10 +5,29 @@
 // fire in scheduling order, which keeps runs fully deterministic for a fixed
 // seed and schedule. All other simulator packages (netsim, switchsim,
 // transport, fleet) are built on top of this engine.
+//
+// Performance design (the simulator's binding constraint is per-event cost,
+// exactly as the paper argues per-packet cost dominates for Millisampler,
+// §4.3):
+//
+//   - the queue is a concrete 4-ary min-heap of *Event — no container/heap
+//     interface boxing, fewer levels than a binary heap, and the four
+//     children of a node share a cache line;
+//   - events scheduled through AtCall/AfterCall and Timer carry a
+//     pre-bound function plus (any, any, int64) argument words instead of a
+//     closure, and are recycled through a free list, so the per-packet
+//     scheduling paths (NIC serialization, fabric hops, switch dequeues,
+//     retransmit/delayed-ACK timers) perform zero heap allocations;
+//   - cancelled events are compacted eagerly once they outnumber live
+//     events, so runs with heavy timer churn (e.g. crash-injected
+//     retransmit storms) never degrade quadratically.
+//
+// Events returned by At/After are plain heap-allocated objects: their
+// handles stay valid indefinitely, which keeps Cancel safe for callers that
+// retain them. Only handle-free call events and Timer internals are pooled.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -44,14 +63,27 @@ func (t Time) String() string { return time.Duration(t).String() }
 // FromDuration converts a time.Duration to simulation time.
 func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 
+// CallFunc is the pre-bound form of an event callback: a static function
+// receiving its context through two pointer-shaped words and one integer.
+// Storing pointers, funcs, or channels in the any slots does not allocate.
+type CallFunc func(a1, a2 any, i int64)
+
 // Event is a scheduled callback. The callback runs with the engine clock set
 // to the event's deadline.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once popped or cancelled
-	cancel bool
+	at  Time
+	seq uint64
+
+	fn  func()   // closure form (At/After)
+	cfn CallFunc // pre-bound form (AtCall/AfterCall, Timer)
+	a1  any
+	a2  any
+	i   int64
+
+	gen      uint32 // bumped on each recycle; guards stale Timer handles
+	queued   bool
+	cancel   bool
+	poolable bool // recycled into the engine free list after popping
 }
 
 // Cancelled reports whether the event was cancelled before it fired.
@@ -60,48 +92,16 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // At returns the deadline the event was scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// eventQueue is a binary min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; simulated concurrency is expressed as interleaved events.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	fired  uint64
-	halted bool
+	now     Time
+	queue   []*Event // 4-ary min-heap ordered by (at, seq)
+	seq     uint64
+	fired   uint64
+	ncancel int // cancelled events still in the queue
+	halted  bool
+	free    []*Event // recycled poolable events
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -116,19 +116,166 @@ func (e *Engine) Now() Time { return e.now }
 // instrumentation and benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live (not cancelled) events still queued.
+func (e *Engine) Pending() int { return len(e.queue) - e.ncancel }
 
-// At schedules fn to run at absolute time at. Scheduling in the past panics:
-// it always indicates a logic error in a discrete-event model.
-func (e *Engine) At(at Time, fn func()) *Event {
+// ---- 4-ary heap ----
+
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.queued = true
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Smallest of up to four children.
+		min := c
+		last := c + 4
+		if last > n {
+			last = n
+		}
+		for j := c + 1; j < last; j++ {
+			if eventLess(q[j], q[min]) {
+				min = j
+			}
+		}
+		if !eventLess(q[min], ev) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = ev
+}
+
+// popMin removes and returns the earliest event (cancelled or not).
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.queued = false
+	return ev
+}
+
+// compact removes cancelled events from the queue in one pass and restores
+// the heap property. The (at, seq) total order is unaffected, so firing
+// order is exactly what it would have been under lazy popping.
+func (e *Engine) compact() {
+	q := e.queue
+	kept := q[:0]
+	for _, ev := range q {
+		if ev.cancel {
+			ev.queued = false
+			e.recycle(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	// Clear the tail so dropped events are not retained.
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	e.queue = kept
+	e.ncancel = 0
+	for i := (len(kept) - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// compactThreshold is the minimum queue length before eager compaction kicks
+// in; below it, lazy popping is already cheap.
+const compactThreshold = 64
+
+// noteCancelled records one more cancelled-but-queued event and compacts the
+// queue once cancelled events outnumber live ones.
+func (e *Engine) noteCancelled() {
+	e.ncancel++
+	if n := len(e.queue); n >= compactThreshold && e.ncancel*2 > n {
+		e.compact()
+	}
+}
+
+// recycle returns a poolable event to the free list. The generation bump
+// invalidates any stale Timer handle to the old incarnation. Non-poolable
+// events (At/After) are left untouched: their handles may be retained, and
+// fields like the cancelled flag must stay observable.
+func (e *Engine) recycle(ev *Event) {
+	if !ev.poolable {
+		return
+	}
+	ev.gen++
+	ev.fn = nil
+	ev.cfn = nil
+	ev.a1 = nil
+	ev.a2 = nil
+	ev.i = 0
+	ev.cancel = false
+	e.free = append(e.free, ev)
+}
+
+// newEvent takes an event from the free list or allocates one.
+func (e *Engine) newEvent(at Time, poolable bool) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); poolable && n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.poolable = poolable
 	e.seq++
-	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it always indicates a logic error in a discrete-event model. The returned
+// handle stays valid indefinitely (At events are never pooled), so it may be
+// retained and cancelled at any point.
+func (e *Engine) At(at Time, fn func()) *Event {
+	ev := e.newEvent(at, false)
+	ev.fn = fn
+	e.push(ev)
 	return ev
 }
 
@@ -140,50 +287,132 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel marks ev as cancelled. A cancelled event stays in the queue but its
-// callback will not run. Cancelling an already-fired event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev != nil {
-		ev.cancel = true
+// AtCall schedules the pre-bound callback fn(a1, a2, i) at absolute time at.
+// The event is pooled and returns no handle, making it allocation-free in
+// steady state; use a Timer when the schedule must be cancellable.
+func (e *Engine) AtCall(at Time, fn CallFunc, a1, a2 any, i int64) {
+	ev := e.newEvent(at, true)
+	ev.cfn = fn
+	ev.a1 = a1
+	ev.a2 = a2
+	ev.i = i
+	e.push(ev)
+}
+
+// AfterCall schedules the pre-bound callback fn(a1, a2, i) to run d after the
+// current time. Like AtCall, it is pooled, handle-free and allocation-free.
+func (e *Engine) AfterCall(d Time, fn CallFunc, a1, a2 any, i int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
+	e.AtCall(e.now+d, fn, a1, a2, i)
+}
+
+// atTimer schedules a pooled event for a Timer and returns it; the Timer
+// remembers (event, generation) so a later Stop only cancels this
+// incarnation.
+func (e *Engine) atTimer(at Time, t *Timer) *Event {
+	ev := e.newEvent(at, true)
+	ev.cfn = timerFire
+	ev.a1 = t
+	e.push(ev)
+	return ev
+}
+
+// Cancel marks ev as cancelled. A cancelled event stays queued but its
+// callback will not run; once cancelled events outnumber live ones the queue
+// is compacted eagerly. Cancelling an already-fired event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.queued {
+		e.noteCancelled()
+	}
+}
+
+// cancelGen cancels ev only if it is still the incarnation with generation
+// gen. Stale Timer handles (the event fired and was recycled) are no-ops.
+func (e *Engine) cancelGen(ev *Event, gen uint32) {
+	if ev == nil || !ev.queued || ev.gen != gen || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	e.noteCancelled()
 }
 
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
-// Step executes the next pending event, advancing the clock to its deadline.
-// It reports whether an event was executed.
-func (e *Engine) Step() bool {
+// fire pops the earliest live event, advances the clock, and runs its
+// callback. It reports false when the queue has drained. Poolable events are
+// recycled before the callback runs, so a callback can immediately reuse the
+// object for its own rescheduling.
+func (e *Engine) fire() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.popMin()
 		if ev.cancel {
+			e.ncancel--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		if ev.cfn != nil {
+			cfn, a1, a2, i := ev.cfn, ev.a1, ev.a2, ev.i
+			e.recycle(ev)
+			cfn(a1, a2, i)
+		} else {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+		}
 		return true
 	}
 	return false
 }
 
+// Step executes the next pending event, advancing the clock to its deadline.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool { return e.fire() }
+
 // Run executes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
 	e.halted = false
-	for !e.halted && e.Step() {
+	for !e.halted && e.fire() {
 	}
 }
 
 // RunUntil executes events with deadlines at or before end, then advances the
-// clock to exactly end. Events scheduled beyond end remain queued.
+// clock to exactly end. Events scheduled beyond end remain queued. Cancelled
+// events at the head of the queue are discarded as they are reached, so runs
+// with many dead timers stay linear.
 func (e *Engine) RunUntil(end Time) {
 	e.halted = false
-	for !e.halted {
-		ev := e.peek()
-		if ev == nil || ev.at > end {
+	for !e.halted && len(e.queue) > 0 {
+		top := e.queue[0]
+		if top.cancel {
+			e.popMin()
+			e.ncancel--
+			e.recycle(top)
+			continue
+		}
+		if top.at > end {
 			break
 		}
-		e.Step()
+		e.popMin()
+		e.now = top.at
+		e.fired++
+		if top.cfn != nil {
+			cfn, a1, a2, i := top.cfn, top.a1, top.a2, top.i
+			e.recycle(top)
+			cfn(a1, a2, i)
+		} else {
+			fn := top.fn
+			e.recycle(top)
+			fn()
+		}
 	}
 	if e.now < end {
 		e.now = end
@@ -192,14 +421,3 @@ func (e *Engine) RunUntil(end Time) {
 
 // RunFor executes events for a span d of virtual time from the current clock.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
-
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.cancel {
-			return ev
-		}
-		heap.Pop(&e.queue)
-	}
-	return nil
-}

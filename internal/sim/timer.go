@@ -1,0 +1,50 @@
+package sim
+
+// Timer is a reusable, allocation-free timer handle in the style of
+// time.AfterFunc: one callback bound at construction, rearmed with Reset and
+// disarmed with Stop. Rearming schedules a pooled engine event, so hot
+// per-packet timers (retransmission, delayed ACK) do not allocate on every
+// rearm the way Cancel+After with a fresh closure would.
+//
+// Safety: the Timer records the scheduled event's generation. If the event
+// has already fired and been recycled for an unrelated schedule, Stop
+// becomes a no-op instead of cancelling the new owner — the hazard a plain
+// retained *Event handle would have with pooling.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event // pending firing, nil while disarmed
+	gen uint32 // generation of ev when it was scheduled
+}
+
+// NewTimer returns a disarmed timer that runs fn on the engine clock each
+// time an armed deadline is reached.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	return &Timer{eng: e, fn: fn}
+}
+
+// timerFire is the pooled-event trampoline: disarm, then run the callback
+// (which may immediately Reset).
+func timerFire(a1, _ any, _ int64) {
+	t := a1.(*Timer)
+	t.ev = nil
+	t.fn()
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending firing.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.ev = t.eng.atTimer(t.eng.now+d, t)
+	t.gen = t.ev.gen
+}
+
+// Stop disarms the timer. Stopping a disarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.cancelGen(t.ev, t.gen)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether a firing is pending.
+func (t *Timer) Armed() bool { return t.ev != nil }

@@ -1,0 +1,53 @@
+package switchsim
+
+import "repro/internal/netsim"
+
+// segFIFO is a growable circular queue of segments. Each egress queue churns
+// through millions of segments per simulated second; a plain slice advanced
+// with `s = s[1:]` forces a fresh allocation every time append catches up
+// with the sliced-off head, while the ring reuses one backing array.
+type segFIFO struct {
+	buf  []*netsim.Segment
+	head int
+	n    int
+}
+
+// Len returns the number of queued segments.
+func (f *segFIFO) Len() int { return f.n }
+
+// Push appends seg at the tail, growing the ring if full.
+func (f *segFIFO) Push(seg *netsim.Segment) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = seg
+	f.n++
+}
+
+// Front returns the head segment. Callers must check Len first.
+func (f *segFIFO) Front() *netsim.Segment {
+	return f.buf[f.head]
+}
+
+// PopFront removes and clears the head slot.
+func (f *segFIFO) PopFront() {
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	if f.n == 0 {
+		f.head = 0
+	}
+}
+
+func (f *segFIFO) grow() {
+	capNew := len(f.buf) * 2
+	if capNew < 16 {
+		capNew = 16
+	}
+	buf := make([]*netsim.Segment, capNew)
+	for i := 0; i < f.n; i++ {
+		buf[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = buf
+	f.head = 0
+}

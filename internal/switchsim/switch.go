@@ -65,6 +65,9 @@ type Config struct {
 	DownlinkRateBps int64
 	// DownlinkProp is the ToR-to-server propagation delay.
 	DownlinkProp sim.Time
+	// Pool is the segment pool drops and multicast replication recycle into.
+	// Leave nil for a private pool; topologies share one pool per engine.
+	Pool *netsim.SegmentPool
 }
 
 // DefaultConfig returns the production-mirroring configuration for a rack
@@ -87,7 +90,7 @@ type queue struct {
 	port     int
 	quadrant int
 
-	fifo  []*netsim.Segment
+	fifo  segFIFO
 	bytes int // total occupancy (dedicated + shared portions)
 
 	dedicatedCap  int
@@ -121,6 +124,7 @@ type Switch struct {
 	queues            []*queue
 	pools             []*DT
 	links             []*netsim.Link
+	segPool           *netsim.SegmentPool
 	sinks             []netsim.Deliver // per-port delivery into the server host
 
 	uplink netsim.Forwarder // toward the fabric, for server egress traffic
@@ -192,6 +196,9 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		panic(err.Error())
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Pool == nil {
+		cfg.Pool = netsim.NewSegmentPool()
+	}
 	queuesPerQuad := (cfg.Ports + cfg.Quadrants - 1) / cfg.Quadrants
 	sharedCap := cfg.TotalBuffer/cfg.Quadrants - cfg.DedicatedPerQueue*queuesPerQuad
 
@@ -202,6 +209,7 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		queues:            make([]*queue, cfg.Ports),
 		pools:             make([]*DT, cfg.Quadrants),
 		links:             make([]*netsim.Link, cfg.Ports),
+		segPool:           cfg.Pool,
 		sinks:             make([]netsim.Deliver, cfg.Ports),
 		groups:            make(map[netsim.GroupID][]int),
 	}
@@ -215,9 +223,13 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 			dedicatedCap: cfg.DedicatedPerQueue,
 		}
 		sw.links[p] = netsim.NewLink(eng, cfg.DownlinkRateBps, cfg.DownlinkProp)
+		sw.links[p].SetPool(cfg.Pool)
 	}
 	return sw
 }
+
+// Pool returns the switch's segment pool.
+func (s *Switch) Pool() *netsim.SegmentPool { return s.segPool }
 
 // Config returns the effective configuration.
 func (s *Switch) Config() Config { return s.cfg }
@@ -265,13 +277,14 @@ func (s *Switch) ForwardFromServer(seg *netsim.Segment) {
 	s.uplink.Forward(seg)
 }
 
-// replicate copies a multicast segment into every subscribed queue.
+// replicate copies a multicast segment into every subscribed queue. The
+// original's path ends here: each subscriber gets a pool-owned clone and the
+// source segment recycles.
 func (s *Switch) replicate(seg *netsim.Segment) {
 	for _, p := range s.groups[seg.Group] {
-		cp := *seg
-		cp.EnqueuedShared = 0
-		s.enqueue(p, &cp)
+		s.enqueue(p, s.segPool.Clone(seg))
 	}
+	s.segPool.Put(seg)
 }
 
 func (s *Switch) enqueue(port int, seg *netsim.Segment) {
@@ -294,6 +307,7 @@ func (s *Switch) enqueue(port int, seg *netsim.Segment) {
 		q.stats.DiscardBytes += int64(seg.Size)
 		q.stats.DiscardSegments++
 		s.TotalDiscards++
+		s.segPool.Put(seg)
 		return
 	}
 	q.dedicatedUsed += fromDedicated
@@ -313,7 +327,7 @@ func (s *Switch) enqueue(port int, seg *netsim.Segment) {
 		q.stats.ECNMarkedSegs++
 	}
 
-	q.fifo = append(q.fifo, seg)
+	q.fifo.Push(seg)
 	if !q.busy {
 		s.startDrain(q)
 	}
@@ -348,34 +362,44 @@ func (s *Switch) startDrain(q *queue) {
 }
 
 func (s *Switch) drainNext(q *queue) {
-	if len(q.fifo) == 0 {
+	if q.fifo.Len() == 0 {
 		q.busy = false
 		return
 	}
-	seg := q.fifo[0]
-	link := s.links[q.port]
-	tx := link.SerializationDelay(seg.Size)
-	s.eng.After(tx, func() {
-		// Transmission complete: free the buffer cell, hand the segment to
-		// the propagation stage, continue with the next segment.
-		q.fifo[0] = nil
-		q.fifo = q.fifo[1:]
-		q.bytes -= seg.Size
-		q.dedicatedUsed -= seg.Size - seg.EnqueuedShared
-		if seg.EnqueuedShared > 0 {
-			s.pools[q.quadrant].Release(seg.EnqueuedShared)
-			q.sharedUsed -= seg.EnqueuedShared
-		}
-		q.stats.DequeuedBytes += int64(seg.Size)
-		// Deliver synchronously: the downlink propagation delay (a couple of
-		// microseconds of fiber) is folded into this event rather than
-		// costing a second event per segment; at 1 ms sampling buckets the
-		// shift is invisible and the drain rate stays exact.
-		if sink := s.sinks[q.port]; sink != nil {
-			sink(seg)
-		}
-		s.drainNext(q)
-	})
+	seg := q.fifo.Front()
+	tx := s.links[q.port].SerializationDelay(seg.Size)
+	// A busy queue has exactly one departure event in flight and only the
+	// departure removes the head, so finishTx can re-read the front instead
+	// of capturing seg in a closure: the whole drain loop runs on pooled
+	// events with zero allocations.
+	s.eng.AfterCall(tx, finishTx, s, q, 0)
+}
+
+// finishTx completes one transmission: free the buffer cell, hand the segment
+// to the propagation stage, continue with the next segment.
+func finishTx(a1, a2 any, _ int64) {
+	s := a1.(*Switch)
+	q := a2.(*queue)
+	seg := q.fifo.Front()
+	q.fifo.PopFront()
+	q.bytes -= seg.Size
+	q.dedicatedUsed -= seg.Size - seg.EnqueuedShared
+	if seg.EnqueuedShared > 0 {
+		s.pools[q.quadrant].Release(seg.EnqueuedShared)
+		q.sharedUsed -= seg.EnqueuedShared
+	}
+	q.stats.DequeuedBytes += int64(seg.Size)
+	// Deliver synchronously: the downlink propagation delay (a couple of
+	// microseconds of fiber) is folded into this event rather than costing a
+	// second event per segment; at 1 ms sampling buckets the shift is
+	// invisible and the drain rate stays exact. An unwired port terminates
+	// the path, so the segment recycles.
+	if sink := s.sinks[q.port]; sink != nil {
+		sink(seg)
+	} else {
+		s.segPool.Put(seg)
+	}
+	s.drainNext(q)
 }
 
 // QueueBytes returns port p's instantaneous occupancy.

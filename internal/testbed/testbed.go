@@ -103,6 +103,14 @@ func NewRack(cfg RackConfig) *Rack {
 		swCfg = switchsim.DefaultConfig(cfg.Servers)
 		swCfg.DownlinkRateBps = cfg.ServerRateBps
 	}
+	// One segment pool serves the whole rack: transports draw from it, and
+	// wherever a segment's path ends (delivery, drop, replication) it
+	// recycles back, so the steady-state working set stays resident.
+	pool := swCfg.Pool
+	if pool == nil {
+		pool = netsim.NewSegmentPool()
+		swCfg.Pool = pool
+	}
 	sw := switchsim.New(eng, swCfg)
 
 	r := &Rack{
@@ -126,6 +134,7 @@ func NewRack(cfg RackConfig) *Rack {
 			Cores:       cfg.Cores,
 			LinkRateBps: cfg.ServerRateBps,
 			Clock:       hc,
+			Pool:        pool,
 		})
 		h.SetForwarder(netsim.ForwarderFunc(sw.ForwardFromServer))
 		sw.ConnectPort(i, h.Inject)
@@ -138,6 +147,7 @@ func NewRack(cfg RackConfig) *Rack {
 			ID:          RemoteIDBase + netsim.HostID(i),
 			Cores:       cfg.Cores,
 			LinkRateBps: cfg.RemoteRateBps,
+			Pool:        pool,
 		})
 		h.SetForwarder(netsim.ForwarderFunc(r.routeFromRemote))
 		r.Remotes = append(r.Remotes, h)
@@ -153,6 +163,9 @@ func (r *Rack) Port(id netsim.HostID) (int, bool) {
 	return p, ok
 }
 
+// Pool returns the rack-wide segment pool.
+func (r *Rack) Pool() *netsim.SegmentPool { return r.Switch.Pool() }
+
 // routeFromUplink carries traffic leaving rack servers. Rack-local unicast
 // hairpins at the ToR back down the destination's queue; everything else
 // crosses the fabric, which is modeled uncongested: the paper observes that
@@ -167,35 +180,49 @@ func (r *Rack) routeFromUplink(seg *netsim.Segment) {
 	if dst >= RemoteIDBase {
 		idx := int(dst - RemoteIDBase)
 		if idx < 0 || idx >= len(r.Remotes) {
-			r.UnroutableDrops++
+			r.unroutable(seg)
 			return
 		}
-		h := r.Remotes[idx]
-		r.Eng.After(r.Cfg.FabricDelay, func() { h.Inject(seg) })
+		r.Eng.AfterCall(r.Cfg.FabricDelay, hostInject, r.Remotes[idx], seg, 0)
 		return
 	}
+	r.unroutable(seg)
+}
+
+// unroutable drops a segment addressed outside the topology; the drop
+// terminates its path, so it recycles.
+func (r *Rack) unroutable(seg *netsim.Segment) {
 	r.UnroutableDrops++
+	r.Pool().Put(seg)
+}
+
+// hostInject and fabricToSwitch are the pooled-event continuations of the
+// fabric hops: scheduling them allocates nothing, unlike a per-segment
+// closure.
+func hostInject(a1, a2 any, _ int64) { a1.(*netsim.Host).Inject(a2.(*netsim.Segment)) }
+
+func fabricToSwitch(a1, a2 any, port int64) {
+	a1.(*Rack).Switch.ForwardFromFabric(int(port), a2.(*netsim.Segment))
 }
 
 // routeFromRemote carries remote-host egress: to a rack server via the
 // fabric and the ToR (where contention happens), or to another remote.
 func (r *Rack) routeFromRemote(seg *netsim.Segment) {
 	if seg.Is(netsim.FlagMulticast) {
-		r.Eng.After(r.Cfg.FabricDelay, func() { r.Switch.ForwardFromFabric(0, seg) })
+		r.Eng.AfterCall(r.Cfg.FabricDelay, fabricToSwitch, r, seg, 0)
 		return
 	}
 	dst := seg.Flow.Dst
 	if port, ok := r.portOf[dst]; ok {
-		r.Eng.After(r.Cfg.FabricDelay, func() { r.Switch.ForwardFromFabric(port, seg) })
+		r.Eng.AfterCall(r.Cfg.FabricDelay, fabricToSwitch, r, seg, int64(port))
 		return
 	}
 	if dst >= RemoteIDBase {
 		idx := int(dst - RemoteIDBase)
 		if idx >= 0 && idx < len(r.Remotes) {
-			h := r.Remotes[idx]
-			r.Eng.After(2*r.Cfg.FabricDelay, func() { h.Inject(seg) })
+			r.Eng.AfterCall(2*r.Cfg.FabricDelay, hostInject, r.Remotes[idx], seg, 0)
 			return
 		}
 	}
-	r.UnroutableDrops++
+	r.unroutable(seg)
 }

@@ -1,0 +1,38 @@
+package transport_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/transport"
+)
+
+// TestSteadyStateSendZeroAlloc asserts the full per-packet path — pooled
+// segment emission, NIC serialization, fabric hop, ToR enqueue/dequeue,
+// delivery, delayed ACK, the return trip, and RTO timer rearm — allocates
+// nothing once the pools, rings and event queue are warm. This is the
+// end-to-end version of the per-component assertions and the teeth behind
+// the "hot paths allocate zero" contract.
+func TestSteadyStateSendZeroAlloc(t *testing.T) {
+	r := testbed.NewRack(testbed.RackConfig{Servers: 2, Seed: 42})
+	sconn := r.RemoteEPs[0].Connect(r.Servers[0].ID, 80, transport.Options{})
+
+	// Warm up: handshake, slow start, pools, rings, queue capacity.
+	sconn.Send(1 << 20)
+	r.Eng.RunUntil(200 * sim.Millisecond)
+	if !sconn.Done() {
+		t.Fatal("warmup transfer did not complete")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		sconn.Send(64 * 9000)
+		r.Eng.RunFor(5 * sim.Millisecond)
+	})
+	if !sconn.Done() {
+		t.Fatal("measured transfers did not complete")
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state send loop allocates %.2f objects per burst, want 0", allocs)
+	}
+}

@@ -111,23 +111,25 @@ type Conn struct {
 	opts   Options
 	cc     CongestionControl
 
-	// Sender state.
+	// Sender state. Timers are reusable handles (sim.Timer), so rearming on
+	// every ACK round trip allocates nothing; the inflight window is a ring
+	// that reuses its backing array across the connection's life.
 	established bool
 	closed      bool
 	synRetries  int
-	synTimer    *sim.Event
+	synTimer    *sim.Timer
 	startedAt   sim.Time
 	sndUna      int64
 	sndNxt      int64
 	pending     int64
-	inflight    []segMeta
+	inflight    metaRing
 	dupAcks     int
 	inRecovery  bool
 	recoverSeq  int64
 	srtt        sim.Time
 	rttvar      sim.Time
 	rto         sim.Time
-	rtoTimer    *sim.Event
+	rtoTimer    *sim.Timer
 
 	lastActivity sim.Time
 
@@ -136,7 +138,7 @@ type Conn struct {
 	ooo         map[int64]int64 // out-of-order spans: start -> end
 	heldSegs    int             // delayed-ACK: in-order data segments held
 	heldCE      bool            // CE state of the held segments
-	delackTimer *sim.Event
+	delackTimer *sim.Timer
 
 	// Stats accumulates counters for tests and analysis.
 	Stats ConnStats
@@ -178,7 +180,7 @@ func (c *Conn) Send(n int64) {
 	if n <= 0 {
 		return
 	}
-	if !c.opts.NoIdleRestart && c.established && len(c.inflight) == 0 &&
+	if !c.opts.NoIdleRestart && c.established && c.inflight.Len() == 0 &&
 		c.ep.eng.Now()-c.lastActivity > c.rto {
 		if rs, ok := c.cc.(interface{ RestartAfterIdle() }); ok {
 			rs.RestartAfterIdle()
@@ -196,20 +198,27 @@ func (c *Conn) Close() {
 	}
 	c.closed = true
 	c.pending = 0
-	c.ep.eng.Cancel(c.rtoTimer)
-	c.ep.eng.Cancel(c.synTimer)
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	if c.synTimer != nil {
+		c.synTimer.Stop()
+	}
 	if c.sender && c.established {
-		c.emit(&netsim.Segment{
-			Flow:  c.flow,
-			Seq:   c.sndNxt,
-			Size:  netsim.HeaderBytes,
-			Flags: netsim.FlagFIN,
-		})
+		seg := c.pool().Get()
+		seg.Flow = c.flow
+		seg.Seq = c.sndNxt
+		seg.Size = netsim.HeaderBytes
+		seg.Flags = netsim.FlagFIN
+		c.emit(seg)
 	}
 	c.ep.remove(c.flow)
 }
 
 // ---- sender path ----
+
+// pool returns the segment pool all of this connection's emissions draw from.
+func (c *Conn) pool() *netsim.SegmentPool { return c.ep.host.Pool() }
 
 func (c *Conn) sendSYN() {
 	c.synRetries++
@@ -221,12 +230,19 @@ func (c *Conn) sendSYN() {
 	if c.synRetries > 1 {
 		flags |= netsim.FlagRetx
 	}
-	c.emit(&netsim.Segment{Flow: c.flow, Size: netsim.HeaderBytes, Flags: flags})
-	c.synTimer = c.ep.eng.After(c.rto, func() {
-		if !c.established && !c.closed {
-			c.sendSYN()
-		}
-	})
+	seg := c.pool().Get()
+	seg.Flow = c.flow
+	seg.Size = netsim.HeaderBytes
+	seg.Flags = flags
+	c.emit(seg)
+	if c.synTimer == nil {
+		c.synTimer = c.ep.eng.NewTimer(func() {
+			if !c.established && !c.closed {
+				c.sendSYN()
+			}
+		})
+	}
+	c.synTimer.Reset(c.rto)
 }
 
 func (c *Conn) trySend() {
@@ -249,13 +265,12 @@ func (c *Conn) trySend() {
 		if c.opts.ecnCapable() {
 			flags |= netsim.FlagECT
 		}
-		seg := &netsim.Segment{
-			Flow:  c.flow,
-			Seq:   c.sndNxt,
-			Size:  int(size) + netsim.HeaderBytes,
-			Flags: flags,
-		}
-		c.inflight = append(c.inflight, segMeta{seq: c.sndNxt, size: int(size), sentAt: c.ep.eng.Now()})
+		seg := c.pool().Get()
+		seg.Flow = c.flow
+		seg.Seq = c.sndNxt
+		seg.Size = int(size) + netsim.HeaderBytes
+		seg.Flags = flags
+		c.inflight.Push(segMeta{seq: c.sndNxt, size: int(size), sentAt: c.ep.eng.Now()})
 		c.sndNxt += size
 		c.pending -= size
 		c.Stats.SentSegs++
@@ -271,17 +286,20 @@ func (c *Conn) emit(seg *netsim.Segment) {
 }
 
 func (c *Conn) armRTO() {
-	if len(c.inflight) == 0 {
-		c.ep.eng.Cancel(c.rtoTimer)
-		c.rtoTimer = nil
+	if c.inflight.Len() == 0 {
+		if c.rtoTimer != nil {
+			c.rtoTimer.Stop()
+		}
 		return
 	}
-	c.ep.eng.Cancel(c.rtoTimer)
-	c.rtoTimer = c.ep.eng.After(c.rto, c.onRTO)
+	if c.rtoTimer == nil {
+		c.rtoTimer = c.ep.eng.NewTimer(c.onRTO)
+	}
+	c.rtoTimer.Reset(c.rto)
 }
 
 func (c *Conn) onRTO() {
-	if c.closed || len(c.inflight) == 0 {
+	if c.closed || c.inflight.Len() == 0 {
 		return
 	}
 	c.Stats.Timeouts++
@@ -292,7 +310,7 @@ func (c *Conn) onRTO() {
 	if max := 200 * sim.Millisecond; c.rto > max {
 		c.rto = max
 	}
-	c.retransmit(&c.inflight[0])
+	c.retransmit(c.inflight.Front())
 	c.armRTO()
 }
 
@@ -309,19 +327,21 @@ func (c *Conn) retransmit(m *segMeta) {
 	}
 	c.Stats.RetxSegs++
 	c.Stats.RetxBytes += int64(m.size)
-	c.emit(&netsim.Segment{
-		Flow:  c.flow,
-		Seq:   m.seq,
-		Size:  m.size + netsim.HeaderBytes,
-		Flags: flags,
-	})
+	seg := c.pool().Get()
+	seg.Flow = c.flow
+	seg.Seq = m.seq
+	seg.Size = m.size + netsim.HeaderBytes
+	seg.Flags = flags
+	c.emit(seg)
 }
 
 func (c *Conn) onAckSegment(seg *netsim.Segment) {
 	if seg.Is(netsim.FlagSYN) { // SYN-ACK
 		if !c.established {
 			c.established = true
-			c.ep.eng.Cancel(c.synTimer)
+			if c.synTimer != nil {
+				c.synTimer.Stop()
+			}
 			c.sampleRTT(c.ep.eng.Now() - c.startedAt)
 			c.trySend()
 		}
@@ -339,15 +359,15 @@ func (c *Conn) onAckSegment(seg *netsim.Segment) {
 		// Pop fully covered segments; sample RTT from clean transmissions
 		// (Karn's rule).
 		var rttSample sim.Time = -1
-		for len(c.inflight) > 0 {
-			m := c.inflight[0]
+		for c.inflight.Len() > 0 {
+			m := c.inflight.Front()
 			if m.seq+int64(m.size) > ack {
 				break
 			}
 			if !m.retx {
 				rttSample = c.ep.eng.Now() - m.sentAt
 			}
-			c.inflight = c.inflight[1:]
+			c.inflight.PopFront()
 		}
 		if rttSample >= 0 {
 			c.sampleRTT(rttSample)
@@ -359,9 +379,9 @@ func (c *Conn) onAckSegment(seg *netsim.Segment) {
 		if c.inRecovery {
 			if ack >= c.recoverSeq {
 				c.inRecovery = false
-			} else if len(c.inflight) > 0 {
+			} else if c.inflight.Len() > 0 {
 				// NewReno partial ACK: the next hole is lost too.
-				c.retransmit(&c.inflight[0])
+				c.retransmit(c.inflight.Front())
 			}
 		}
 		c.armRTO()
@@ -369,7 +389,7 @@ func (c *Conn) onAckSegment(seg *netsim.Segment) {
 		if c.Done() && c.OnDrain != nil {
 			c.OnDrain()
 		}
-	case ack == c.sndUna && len(c.inflight) > 0:
+	case ack == c.sndUna && c.inflight.Len() > 0:
 		c.dupAcks++
 		if marked {
 			c.cc.OnAck(0, true)
@@ -385,8 +405,8 @@ func (c *Conn) fastRetransmit() {
 	c.inRecovery = true
 	c.recoverSeq = c.sndNxt
 	c.cc.OnLoss()
-	if len(c.inflight) > 0 {
-		c.retransmit(&c.inflight[0])
+	if c.inflight.Len() > 0 {
+		c.retransmit(c.inflight.Front())
 	}
 	c.armRTO()
 }
@@ -476,10 +496,10 @@ func (c *Conn) onDataSegment(seg *netsim.Segment) {
 		return
 	}
 	if c.delackTimer == nil {
-		c.delackTimer = c.ep.eng.After(delAckDelay, func() {
-			c.delackTimer = nil
-			c.flushDelack()
-		})
+		c.delackTimer = c.ep.eng.NewTimer(c.flushDelack)
+	}
+	if !c.delackTimer.Armed() {
+		c.delackTimer.Reset(delAckDelay)
 	}
 }
 
@@ -490,19 +510,18 @@ func (c *Conn) flushDelack() {
 	}
 	c.heldSegs = 0
 	if c.delackTimer != nil {
-		c.ep.eng.Cancel(c.delackTimer)
-		c.delackTimer = nil
+		c.delackTimer.Stop()
 	}
 	flags := netsim.FlagACK
 	if c.heldCE {
 		flags |= netsim.FlagCE
 	}
-	c.emit(&netsim.Segment{
-		Flow:  c.flow.Reverse(),
-		Ack:   c.rcvNxt,
-		Size:  netsim.HeaderBytes,
-		Flags: flags,
-	})
+	seg := c.pool().Get()
+	seg.Flow = c.flow.Reverse()
+	seg.Ack = c.rcvNxt
+	seg.Size = netsim.HeaderBytes
+	seg.Flags = flags
+	c.emit(seg)
 }
 
 func (c *Conn) drainOOO() {
@@ -525,10 +544,10 @@ func (c *Conn) sendAck(trigger *netsim.Segment) {
 	if trigger.Is(netsim.FlagCE) {
 		flags |= netsim.FlagCE // ECE echo
 	}
-	c.emit(&netsim.Segment{
-		Flow:  c.flow.Reverse(),
-		Ack:   c.rcvNxt,
-		Size:  netsim.HeaderBytes,
-		Flags: flags,
-	})
+	seg := c.pool().Get()
+	seg.Flow = c.flow.Reverse()
+	seg.Ack = c.rcvNxt
+	seg.Size = netsim.HeaderBytes
+	seg.Flags = flags
+	c.emit(seg)
 }

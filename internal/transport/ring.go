@@ -1,0 +1,52 @@
+package transport
+
+// metaRing is a growable circular queue of segMeta. The sender's inflight
+// window pushes at the tail and pops acknowledged segments at the head; a
+// plain slice with `s = s[1:]` re-allocates every window's worth of sends,
+// while the ring reuses its backing array for the life of the connection.
+type metaRing struct {
+	buf  []segMeta
+	head int
+	n    int
+}
+
+// Len returns the number of queued entries.
+func (r *metaRing) Len() int { return r.n }
+
+// Push appends m at the tail, growing the ring if full.
+func (r *metaRing) Push(m segMeta) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = m
+	r.n++
+}
+
+// Front returns the head entry. The pointer is valid until the next Push or
+// PopFront. Callers must check Len first.
+func (r *metaRing) Front() *segMeta {
+	return &r.buf[r.head]
+}
+
+// PopFront discards the head entry.
+func (r *metaRing) PopFront() {
+	r.buf[r.head] = segMeta{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+}
+
+func (r *metaRing) grow() {
+	capNew := len(r.buf) * 2
+	if capNew < 8 {
+		capNew = 8
+	}
+	buf := make([]segMeta, capNew)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

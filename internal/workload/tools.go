@@ -67,20 +67,19 @@ func (b *MulticastBeacon) Stop() { b.stopped = true }
 func (b *MulticastBeacon) emitBurst() {
 	b.Sent++
 	src := b.rack.Remotes[0]
+	pool := src.Pool()
 	for i := 0; i < b.segs; i++ {
-		seg := &netsim.Segment{
-			Flow: netsim.FlowKey{
-				Src: src.ID, Dst: 0, SrcPort: 5353, DstPort: 5353,
-			},
-			Group: b.group,
-			Size:  b.segSize,
-			Flags: netsim.FlagMulticast,
-		}
-		delay := sim.Time(i) * b.pacing
-		s := seg
-		b.rack.Eng.After(delay, func() { src.Send(s) })
+		seg := pool.Get()
+		seg.Flow = netsim.FlowKey{Src: src.ID, Dst: 0, SrcPort: 5353, DstPort: 5353}
+		seg.Group = b.group
+		seg.Size = b.segSize
+		seg.Flags = netsim.FlagMulticast
+		b.rack.Eng.AfterCall(sim.Time(i)*b.pacing, hostSend, src, seg, 0)
 	}
 }
+
+// hostSend is the pooled-event continuation of the paced burst emission.
+func hostSend(a1, a2 any, _ int64) { a1.(*netsim.Host).Send(a2.(*netsim.Segment)) }
 
 // BurstGen reproduces the §4.5 burst-identification validation tool: each
 // client (a rack server) periodically receives a fixed-volume burst from a

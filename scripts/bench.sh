@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench.sh is the benchmark regression gate behind `make bench`: it runs the
+# §4.3 microbenchmarks and the per-figure regeneration benchmarks on the
+# small preset, measures small-preset fleet generation wall time plus its
+# determinism digest, and compares the result against the committed
+# BENCH_PR2.json. A regression beyond the tolerance (or any digest drift)
+# fails the script; on success the new numbers replace the committed file.
+#
+# Environment knobs:
+#   BENCH_FILE       result file (default BENCH_PR2.json)
+#   BENCH_TOLERANCE  allowed fractional regression in ns/op and wall time
+#                    (default 0.50 — the figure benchmarks run few iterations
+#                    and shared boxes are noisy; allocs/op regressions from
+#                    zero and digest drift never pass)
+#   BENCH_SKIP_GATE  set to 1 to record fresh numbers without comparing
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_FILE:-BENCH_PR2.json}
+TOL=${BENCH_TOLERANCE:-0.50}
+NEW="$OUT.new"
+
+go run ./cmd/benchgate run -out "$NEW"
+
+if [ -f "$OUT" ] && [ "${BENCH_SKIP_GATE:-0}" != "1" ]; then
+    go run ./cmd/benchgate compare -old "$OUT" -new "$NEW" -tol "$TOL"
+fi
+
+mv "$NEW" "$OUT"
+echo "bench: results recorded in $OUT"

@@ -9,10 +9,16 @@ cd "$(dirname "$0")/.."
 echo ">> go build ./..."
 go build ./...
 
+echo ">> go build -tags simdebug ./..."
+go build -tags simdebug ./...
+
 echo ">> go vet ./..."
 go vet ./...
 
 echo ">> go test -race ./..."
 go test -race ./...
+
+echo ">> go test -tags simdebug ./internal/netsim ./internal/switchsim ./internal/transport ./internal/testbed"
+go test -tags simdebug ./internal/netsim ./internal/switchsim ./internal/transport ./internal/testbed
 
 echo "check: all green"
