@@ -2,10 +2,14 @@
 // per-rack summaries with measured classification, and per-rack drill-down
 // into runs and burst statistics.
 //
+// -data accepts a sharded dataset directory (runs stream shard by shard) or a
+// legacy single .gob.gz file. An incomplete sharded dataset prints its shard
+// status instead of the rack table.
+//
 // Usage:
 //
-//	dsinspect -data fleet.gob.gz                 # rack table
-//	dsinspect -data fleet.gob.gz -rack RegA/3    # one rack's runs
+//	dsinspect -data fleet.ds                 # rack table
+//	dsinspect -data fleet.ds -rack RegA/3    # one rack's runs
 package main
 
 import (
@@ -16,19 +20,30 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
+// source is the dataset view dsinspect needs: the experiments' streaming
+// interface plus single-rack access for drill-down. Both *fleet.Dataset and
+// *dataset.Reader satisfy it.
+type source interface {
+	Config() fleet.Config
+	RackMetas() []fleet.RackMeta
+	EachRun(fn func(r *fleet.RunSummary, c fleet.Class) error) (skipped int, err error)
+	RackRuns(region string, id int) ([]fleet.RunSummary, error)
+}
+
 func main() {
-	data := flag.String("data", "fleet.gob.gz", "dataset path")
+	data := flag.String("data", "fleet.ds", "dataset path (directory or .gob.gz)")
 	rack := flag.String("rack", "", "drill into one rack, e.g. RegA/3")
 	top := flag.Int("top", 0, "show only the N highest-contention racks")
 	flag.Parse()
 
-	var ds fleet.Dataset
-	if err := trace.Load(*data, &ds); err != nil {
+	src, err := open(*data)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsinspect:", err)
 		os.Exit(1)
 	}
@@ -43,16 +58,89 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dsinspect: bad rack id:", err)
 			os.Exit(1)
 		}
-		drill(&ds, parts[0], id)
+		drill(src, parts[0], id)
 		return
 	}
-	overview(&ds, *top)
+	overview(src, *top)
 }
 
-func overview(ds *fleet.Dataset, top int) {
-	fmt.Printf("dataset: %d racks, %d runs, seed %d, %d servers/rack, hours %v\n\n",
-		len(ds.Racks), len(ds.Runs), ds.Cfg.Seed, ds.Cfg.ServersPerRack, ds.Cfg.Hours)
-	racks := append([]fleet.RackMeta(nil), ds.Racks...)
+// open resolves the dataset source. An incomplete sharded dataset prints its
+// shard status and exits, since there is nothing coherent to analyze yet.
+func open(data string) (source, error) {
+	if dataset.IsDir(data) {
+		r, err := dataset.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Complete() {
+			shardStatus(r, data)
+			os.Exit(0)
+		}
+		return r, nil
+	}
+	var ds fleet.Dataset
+	if err := trace.Load(data, &ds); err != nil {
+		return nil, err
+	}
+	return &ds, nil
+}
+
+// shardStatus reports an in-progress generation shard by shard.
+func shardStatus(r *dataset.Reader, dir string) {
+	done, total := r.Progress()
+	cfg := r.Config()
+	fmt.Printf("dataset %s: generation incomplete — %d/%d shards (seed %d, %d racks/region x %d servers x %d hours)\n",
+		dir, done, total, cfg.Seed, cfg.RacksPerRegion, cfg.ServersPerRack, len(cfg.Hours))
+	fmt.Printf("resume with: fleetgen -o %s <same flags>\n\n", dir)
+	fmt.Printf("%-8s %-6s %-9s %6s %10s\n", "region", "id", "state", "runs", "collected")
+	for _, s := range r.Shards() {
+		state := "pending"
+		runs, collected := "-", "-"
+		if s.Complete {
+			state = "complete"
+			runs = fmt.Sprintf("%d", s.Runs)
+			collected = fmt.Sprintf("%d", s.Collected)
+		}
+		fmt.Printf("%-8s %-6d %-9s %6s %10s\n", s.Region, s.ID, state, runs, collected)
+	}
+}
+
+func overview(src source, top int) {
+	// One streaming pass accumulates the per-rack burst counters, so a
+	// sharded dataset never needs the whole fleet in memory.
+	type burstAcc struct{ bursts, lossy int }
+	acc := map[string]*burstAcc{}
+	key := func(region string, id int) string { return fmt.Sprintf("%s/%d", region, id) }
+	totalRuns := 0
+	skipped, err := src.EachRun(func(r *fleet.RunSummary, _ fleet.Class) error {
+		totalRuns++
+		k := key(r.Region, r.RackID)
+		a := acc[k]
+		if a == nil {
+			a = &burstAcc{}
+			acc[k] = a
+		}
+		a.bursts += len(r.Bursts)
+		for _, b := range r.Bursts {
+			if b.Lossy {
+				a.lossy++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsinspect:", err)
+		os.Exit(1)
+	}
+	cfg := src.Config()
+	metas := src.RackMetas()
+	fmt.Printf("dataset: %d racks, %d runs, seed %d, %d servers/rack, hours %v\n",
+		len(metas), totalRuns+skipped, cfg.Seed, cfg.ServersPerRack, cfg.Hours)
+	if skipped > 0 {
+		fmt.Printf("warning: %d runs skipped (rack metadata missing — degraded dataset)\n", skipped)
+	}
+	fmt.Println()
+	racks := append([]fleet.RackMeta(nil), metas...)
 	sort.Slice(racks, func(a, b int) bool {
 		return racks[a].BusyAvgContention > racks[b].BusyAvgContention
 	})
@@ -62,31 +150,29 @@ func overview(ds *fleet.Dataset, top int) {
 	fmt.Printf("%-8s %-4s %-13s %9s %6s %9s %8s %8s\n",
 		"region", "id", "class", "busy-cont", "tasks", "dom-share", "bursts", "lossy")
 	for _, m := range racks {
-		var bursts, lossy int
-		for i := range ds.Runs {
-			r := &ds.Runs[i]
-			if r.Region != m.Region || r.RackID != m.ID {
-				continue
-			}
-			bursts += len(r.Bursts)
-			for _, b := range r.Bursts {
-				if b.Lossy {
-					lossy++
-				}
-			}
+		a := acc[key(m.Region, m.ID)]
+		if a == nil {
+			a = &burstAcc{}
 		}
 		lossPct := "-"
-		if bursts > 0 {
-			lossPct = fmt.Sprintf("%.2f%%", 100*float64(lossy)/float64(bursts))
+		if a.bursts > 0 {
+			lossPct = fmt.Sprintf("%.2f%%", 100*float64(a.lossy)/float64(a.bursts))
 		}
 		fmt.Printf("%-8s %-4d %-13s %9.2f %6d %8.0f%% %8d %8s\n",
 			m.Region, m.ID, m.Class, m.BusyAvgContention,
-			m.DistinctTasks, 100*m.DominantShare, bursts, lossPct)
+			m.DistinctTasks, 100*m.DominantShare, a.bursts, lossPct)
 	}
 }
 
-func drill(ds *fleet.Dataset, region string, id int) {
-	m := ds.Rack(region, id)
+func drill(src source, region string, id int) {
+	var m *fleet.RackMeta
+	metas := src.RackMetas()
+	for i := range metas {
+		if metas[i].Region == region && metas[i].ID == id {
+			m = &metas[i]
+			break
+		}
+	}
 	if m == nil {
 		fmt.Fprintf(os.Stderr, "dsinspect: no rack %s/%d\n", region, id)
 		os.Exit(1)
@@ -98,18 +184,17 @@ func drill(ds *fleet.Dataset, region string, id int) {
 	}
 	fmt.Printf(", RegB intensity %.2f\n\n", m.Intensity)
 
-	fmt.Printf("%-5s %9s %9s %8s %8s %9s %10s %9s\n",
-		"hour", "avg-cont", "p90-cont", "bursts", "lossy", "drop%", "GB/min", "discards")
-	var runs []*fleet.RunSummary
-	for i := range ds.Runs {
-		r := &ds.Runs[i]
-		if r.Region == region && r.RackID == id {
-			runs = append(runs, r)
-		}
+	runs, err := src.RackRuns(region, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsinspect:", err)
+		os.Exit(1)
 	}
 	sort.Slice(runs, func(a, b int) bool { return runs[a].Hour < runs[b].Hour })
+	fmt.Printf("%-5s %9s %9s %8s %8s %9s %10s %9s\n",
+		"hour", "avg-cont", "p90-cont", "bursts", "lossy", "drop%", "GB/min", "discards")
 	var lens []float64
-	for _, r := range runs {
+	for i := range runs {
+		r := &runs[i]
 		lossy := 0
 		for _, b := range r.Bursts {
 			if b.Lossy {

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-preset small|default] [-run fig7,tab2|all] [-data ds.gob.gz]
+//	experiments [-preset small|default] [-run fig7,tab2|all] [-data fleet.ds]
 //
-// With -data pointing at an existing file the dataset is loaded; otherwise
-// it is generated (and saved there when -data is given).
+// -data accepts either a sharded dataset directory written by cmd/fleetgen
+// (runs stream shard by shard, memory stays bounded) or a legacy .gob.gz
+// single file. With -data pointing at an existing dataset it is loaded;
+// otherwise the preset is generated, and saved there when -data is given
+// (sharded unless the path ends in .gob.gz).
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/trace"
@@ -24,8 +28,8 @@ import (
 func main() {
 	preset := flag.String("preset", "small", "dataset preset: small or default")
 	runIDs := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-	data := flag.String("data", "", "dataset path to load from / save to (gob.gz)")
-	seed := flag.Uint64("seed", 0, "override dataset seed (0 keeps preset seed)")
+	data := flag.String("data", "", "dataset path to load from / save to (directory or .gob.gz)")
+	seed := flag.Uint64("seed", 0, "override dataset seed")
 	racks := flag.Int("racks", 0, "override racks per region")
 	md := flag.String("md", "", "also write results as markdown to this file")
 	plot := flag.Bool("plot", false, "render ASCII plots for figures that carry curves")
@@ -39,7 +43,14 @@ func main() {
 		return
 	}
 
-	ds, err := loadOrGenerate(*preset, *data, *seed, *racks)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+
+	src, err := loadOrGenerate(*preset, *data, *seed, seedSet, *racks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -47,10 +58,10 @@ func main() {
 
 	var results []*experiments.Result
 	if *runIDs == "all" {
-		results, err = experiments.RunAll(ds)
+		results, err = experiments.RunAll(src)
 	} else {
 		for _, id := range strings.Split(*runIDs, ",") {
-			r, rerr := experiments.Run(strings.TrimSpace(id), ds)
+			r, rerr := experiments.Run(strings.TrimSpace(id), src)
 			if rerr != nil {
 				err = rerr
 				break
@@ -86,9 +97,25 @@ func main() {
 	}
 }
 
-func loadOrGenerate(preset, data string, seed uint64, racks int) (*fleet.Dataset, error) {
+// loadOrGenerate resolves the experiments' dataset source: an existing
+// sharded directory, an existing legacy file, or a fresh generation.
+func loadOrGenerate(preset, data string, seed uint64, seedSet bool, racks int) (experiments.Source, error) {
 	if data != "" {
-		if _, err := os.Stat(data); err == nil {
+		if dataset.IsDir(data) {
+			r, err := dataset.Open(data)
+			if err != nil {
+				return nil, err
+			}
+			if !r.Complete() {
+				done, total := r.Progress()
+				return nil, fmt.Errorf("%w: %s has %d of %d shards; resume it with cmd/fleetgen first",
+					dataset.ErrIncomplete, data, done, total)
+			}
+			done, _ := r.Progress()
+			fmt.Fprintf(os.Stderr, "loaded sharded dataset: %d shards, %d racks\n", done, len(r.RackMetas()))
+			return r, nil
+		}
+		if fi, err := os.Stat(data); err == nil && fi.Mode().IsRegular() {
 			var ds fleet.Dataset
 			if err := trace.Load(data, &ds); err != nil {
 				return nil, err
@@ -106,7 +133,7 @@ func loadOrGenerate(preset, data string, seed uint64, racks int) (*fleet.Dataset
 	default:
 		return nil, fmt.Errorf("unknown preset %q", preset)
 	}
-	if seed != 0 {
+	if seedSet {
 		cfg.Seed = seed
 	}
 	if racks > 0 {
@@ -121,7 +148,11 @@ func loadOrGenerate(preset, data string, seed uint64, racks int) (*fleet.Dataset
 	}
 	fmt.Fprintf(os.Stderr, "generated %d runs in %v\n", len(ds.Runs), time.Since(start).Round(time.Second))
 	if data != "" {
-		if err := trace.Save(data, ds); err != nil {
+		if dataset.LooksSharded(data) {
+			if err := dataset.Write(data, ds); err != nil {
+				return nil, err
+			}
+		} else if err := trace.Save(data, ds); err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "saved dataset to %s\n", data)

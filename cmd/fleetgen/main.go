@@ -1,9 +1,21 @@
 // Command fleetgen generates a fleet dataset — a full simulated collection
-// day over both regions — and stores it compressed on disk for later
-// analysis with cmd/experiments.
+// day over both regions — and stores it on disk for later analysis with
+// cmd/experiments.
+//
+// The default output is a sharded dataset directory (see internal/dataset):
+// each rack streams to its own shard as it completes, so a long paper-scale
+// generation can be killed and re-invoked with the same flags to resume where
+// it left off. An output path ending in .gob.gz selects the legacy
+// single-file format instead (no resume, whole dataset in memory).
+//
+// Usage:
+//
+//	fleetgen -preset paper -o fleet.ds      # sharded, resumable
+//	fleetgen -preset small -o small.gob.gz  # legacy single file
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -11,13 +23,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/trace"
 )
 
 func main() {
-	out := flag.String("o", "fleet.gob.gz", "output dataset path")
-	preset := flag.String("preset", "default", "preset: small or default")
+	out := flag.String("o", "fleet.ds", "output path: a dataset directory, or a legacy .gob.gz file")
+	preset := flag.String("preset", "default", "preset: small, default, or paper")
 	seed := flag.Uint64("seed", 0, "override seed")
 	racks := flag.Int("racks", 0, "override racks per region")
 	servers := flag.Int("servers", 0, "override servers per rack")
@@ -32,13 +45,19 @@ func main() {
 		cfg = fleet.SmallConfig()
 	case "default":
 		cfg = fleet.DefaultConfig()
+	case "paper":
+		cfg = fleet.PaperConfig()
 	default:
 		fmt.Fprintf(os.Stderr, "fleetgen: unknown preset %q\n", *preset)
 		os.Exit(1)
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
-	}
+	// flag.Visit only sees flags present on the command line, so -seed 0 is
+	// an explicit choice rather than an impossible one.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			cfg.Seed = *seed
+		}
+	})
 	if *racks > 0 {
 		cfg.RacksPerRegion = *racks
 	}
@@ -63,15 +82,76 @@ func main() {
 		}
 	}
 
-	start := time.Now()
 	fmt.Fprintf(os.Stderr, "fleetgen: %d racks/region x %d servers x %d hours, seed %d\n",
 		cfg.RacksPerRegion, cfg.ServersPerRack, len(cfg.Hours), cfg.Seed)
+
+	if dataset.LooksSharded(*out) {
+		generateSharded(*out, cfg)
+		return
+	}
+	generateLegacy(*out, cfg)
+}
+
+// generateSharded runs (or resumes) a sharded generation with per-shard
+// progress and ETA reporting.
+func generateSharded(dir string, cfg fleet.Config) {
+	start := time.Now()
+	doneAtStart := 0
+	if dataset.IsDir(dir) {
+		if r, err := dataset.Open(dir); err == nil {
+			done, total := r.Progress()
+			doneAtStart = done
+			if done > 0 {
+				fmt.Fprintf(os.Stderr, "fleetgen: resuming %s: %d/%d shards already complete\n",
+					dir, done, total)
+			}
+		}
+	}
+	progress := func(p dataset.Progress) {
+		elapsed := time.Since(start)
+		eta := "-"
+		if fresh := p.Done - doneAtStart; fresh > 0 && p.Done < p.Total {
+			remaining := time.Duration(float64(elapsed) / float64(fresh) * float64(p.Total-p.Done))
+			eta = remaining.Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "fleetgen: shard %s/%05d done (%d runs) — %d/%d, eta %s\n",
+			p.Region, p.ID, p.Runs, p.Done, p.Total, eta)
+	}
+	r, err := dataset.GenerateDir(dir, cfg, progress)
+	if err != nil {
+		if errors.Is(err, dataset.ErrConfigMismatch) {
+			fmt.Fprintln(os.Stderr, "fleetgen:", err)
+			fmt.Fprintln(os.Stderr, "fleetgen: use a fresh -o directory for a different config or seed")
+		} else {
+			fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		}
+		os.Exit(1)
+	}
+	var runs, bursts int
+	for _, s := range r.Shards() {
+		runs += s.Runs
+	}
+	if _, err := r.EachRun(func(run *fleet.RunSummary, _ fleet.Class) error {
+		bursts += len(run.Bursts)
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fleetgen: %d runs, %d bursts -> %s in %v\n",
+		runs, bursts, dir, time.Since(start).Round(time.Second))
+}
+
+// generateLegacy writes the whole dataset as one gob.gz file, the original
+// format. It cannot resume and holds the full dataset in memory.
+func generateLegacy(out string, cfg fleet.Config) {
+	start := time.Now()
 	ds, err := fleet.Generate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetgen:", err)
 		os.Exit(1)
 	}
-	if err := trace.Save(*out, ds); err != nil {
+	if err := trace.Save(out, ds); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetgen:", err)
 		os.Exit(1)
 	}
@@ -80,5 +160,5 @@ func main() {
 		bursts += len(ds.Runs[i].Bursts)
 	}
 	fmt.Fprintf(os.Stderr, "fleetgen: %d runs, %d bursts -> %s in %v\n",
-		len(ds.Runs), bursts, *out, time.Since(start).Round(time.Second))
+		len(ds.Runs), bursts, out, time.Since(start).Round(time.Second))
 }

@@ -1,0 +1,318 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// tinyConfig keeps generation fast enough to run several times per test
+// binary while exercising both regions, multiple racks, and multiple hours.
+func tinyConfig() fleet.Config {
+	c := fleet.SmallConfig()
+	c.RacksPerRegion = 3
+	c.ServersPerRack = 12
+	c.Hours = []int{2, 6}
+	c.Buckets = 200
+	c.Workers = 2
+	return c
+}
+
+// tinyLegacy generates the tiny dataset in memory exactly once; tests
+// compare the sharded pipeline against it.
+var (
+	tinyOnce sync.Once
+	tinyDS   *fleet.Dataset
+	tinyErr  error
+)
+
+func legacyTiny(t *testing.T) *fleet.Dataset {
+	t.Helper()
+	tinyOnce.Do(func() { tinyDS, tinyErr = fleet.Generate(tinyConfig()) })
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinyDS
+}
+
+func digestOf(t *testing.T, ds *fleet.Dataset) string {
+	t.Helper()
+	d, err := ds.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateDirMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	r, err := GenerateDir(dir, tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Complete() {
+		t.Fatal("generated dataset not complete")
+	}
+	ds, err := r.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := legacyTiny(t)
+	if got, wantD := digestOf(t, ds), digestOf(t, want); got != wantD {
+		t.Errorf("sharded dataset digest %s != legacy in-memory digest %s", got, wantD)
+	}
+	if done, total := r.Progress(); done != total || total != 2*tinyConfig().RacksPerRegion {
+		t.Errorf("progress %d/%d, want %d complete shards", done, total, 2*tinyConfig().RacksPerRegion)
+	}
+}
+
+// interruptAfter aborts a generation after n shards commit, simulating a
+// kill mid-run (with one additional shard left dangling as a temp file, the
+// worst on-disk state a kill can leave).
+type interruptErr struct{ error }
+
+func TestInterruptedResumeIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	cfg := tinyConfig()
+	dir := filepath.Join(t.TempDir(), "ds")
+
+	// Phase 1: "crash" after two shards are committed.
+	w, err := Create(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	committed := 0
+	stop := errors.New("simulated kill")
+	err = fleet.GenerateStream(cfg, fleet.StreamOpts{
+		Skip: w.Done,
+		Begin: func(meta fleet.RackMeta) (fleet.RackSink, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if committed >= 2 {
+				return nil, interruptErr{stop}
+			}
+			committed++
+			return w.Begin(meta)
+		},
+	})
+	if err == nil || !errors.As(err, &interruptErr{}) {
+		t.Fatalf("simulated interrupt did not surface: %v", err)
+	}
+	// Leave a partial shard temp file behind, as a kill mid-write would.
+	if f, err := os.CreateTemp(dir, ".tmp-shard-"); err == nil {
+		f.WriteString("partial garbage")
+		f.Close()
+	}
+	rdr, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdr.Complete() {
+		t.Fatal("interrupted dataset claims to be complete")
+	}
+	if _, err := rdr.Dataset(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("reading an incomplete dataset: err = %v, want ErrIncomplete", err)
+	}
+	done, total := rdr.Progress()
+	if done != 2 || total != 2*cfg.RacksPerRegion {
+		t.Fatalf("progress after interrupt = %d/%d, want 2/%d", done, total, 2*cfg.RacksPerRegion)
+	}
+
+	// Phase 2: resume with the same flags. Completed shards must be skipped
+	// (counted via fresh progress events), the temp file swept, and the
+	// final digest must equal an uninterrupted run's.
+	var regenerated int
+	r, err := GenerateDir(dir, cfg, func(Progress) { regenerated++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*cfg.RacksPerRegion - 2; regenerated != want {
+		t.Errorf("resume regenerated %d shards, want %d (2 were already complete)", regenerated, want)
+	}
+	ds, err := r.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digestOf(t, ds), digestOf(t, legacyTiny(t)); got != want {
+		t.Errorf("resumed dataset digest %s != uninterrupted digest %s", got, want)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(matches) != 0 {
+		t.Errorf("temp files survived resume: %v", matches)
+	}
+}
+
+func TestResumeRefusesMismatchedConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	cfg := tinyConfig()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, legacyTiny(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	seed := cfg
+	seed.Seed = cfg.Seed + 1
+	if _, err := Create(dir, seed); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("different seed: err = %v, want ErrConfigMismatch", err)
+	}
+	buckets := cfg
+	buckets.Buckets = cfg.Buckets * 2
+	if _, err := Create(dir, buckets); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("different buckets: err = %v, want ErrConfigMismatch", err)
+	}
+	// Workers is scheduling-only and must not block a resume on a machine
+	// with a different core count.
+	workers := cfg
+	workers.Workers = cfg.Workers + 7
+	if _, err := Create(dir, workers); err != nil {
+		t.Errorf("different workers blocked resume: %v", err)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	ds := legacyTiny(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digestOf(t, back), digestOf(t, ds); got != want {
+		t.Errorf("round-tripped digest %s != original %s", got, want)
+	}
+
+	// Streaming accessors agree with the materialized view.
+	var streamed int
+	skipped, err := r.EachRun(func(run *fleet.RunSummary, c fleet.Class) error {
+		streamed++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || streamed != len(ds.Runs) {
+		t.Errorf("EachRun streamed %d (skipped %d), want %d", streamed, skipped, len(ds.Runs))
+	}
+	runs, err := r.RackRuns(fleet.RegA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns, _ := ds.RackRuns(fleet.RegA, 0)
+	if len(runs) != len(wantRuns) {
+		t.Errorf("RackRuns returned %d runs, want %d", len(runs), len(wantRuns))
+	}
+}
+
+func TestCorruptShardIsRegenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	cfg := tinyConfig()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, legacyTiny(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in one shard.
+	path := filepath.Join(dir, shardFileName(fleet.RegB, 1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The reader must refuse the damaged shard.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RackRuns(fleet.RegB, 1); !errors.Is(err, ErrCorruptShard) {
+		t.Errorf("reading corrupt shard: err = %v, want ErrCorruptShard", err)
+	}
+	// Resume demotes it and regenerates only that shard.
+	var regenerated []string
+	rr, err := GenerateDir(dir, cfg, func(p Progress) {
+		regenerated = append(regenerated, fmt.Sprintf("%s/%d", p.Region, p.ID))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regenerated) != 1 || regenerated[0] != fmt.Sprintf("%s/1", fleet.RegB) {
+		t.Errorf("regenerated %v, want exactly [RegB/1]", regenerated)
+	}
+	ds, err := rr.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digestOf(t, ds), digestOf(t, legacyTiny(t)); got != want {
+		t.Errorf("repaired dataset digest %s != clean digest %s", got, want)
+	}
+}
+
+func TestEachRunCountsMissingMetadata(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, legacyTiny(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the manifest: drop one rack from the metadata, as a partially
+	// written or hand-damaged dataset would.
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped int
+	for i := range man.Racks {
+		if man.Racks[i].Region == fleet.RegA && man.Racks[i].ID == 0 {
+			man.Racks = append(man.Racks[:i], man.Racks[i+1:]...)
+			break
+		}
+	}
+	for i := range man.Shards {
+		if man.Shards[i].Region == fleet.RegA && man.Shards[i].ID == 0 {
+			dropped = man.Shards[i].Runs
+		}
+	}
+	if err := writeManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	skipped, err := r.EachRun(func(*fleet.RunSummary, fleet.Class) error { streamed++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 || skipped != dropped {
+		t.Errorf("skipped %d runs, want %d (the dropped rack's)", skipped, dropped)
+	}
+	if streamed+skipped != len(legacyTiny(t).Runs) {
+		t.Errorf("streamed %d + skipped %d != total %d", streamed, skipped, len(legacyTiny(t).Runs))
+	}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"repro/internal/fleet"
+)
+
+// Progress describes one newly completed shard during GenerateDir.
+type Progress struct {
+	// Done counts complete shards including ones resumed from a previous
+	// invocation; Total is the full shard count.
+	Done, Total int
+	// Region/ID identify the shard that just committed; Runs is its
+	// rack-hour count.
+	Region string
+	ID     int
+	Runs   int
+}
+
+// progressSink wraps a ShardWriter to report progress after each commit.
+type progressSink struct {
+	sw *ShardWriter
+	w  *Writer
+	fn func(Progress)
+}
+
+func (s *progressSink) Run(r fleet.RunSummary) error { return s.sw.Run(r) }
+
+func (s *progressSink) Commit(meta fleet.RackMeta) error {
+	if err := s.sw.Commit(meta); err != nil {
+		return err
+	}
+	if s.fn != nil {
+		done, total := s.w.Progress()
+		s.fn(Progress{Done: done, Total: total, Region: meta.Region, ID: meta.ID, Runs: s.sw.runs})
+	}
+	return nil
+}
+
+// GenerateDir generates (or resumes) a sharded dataset in dir. Completed,
+// digest-verified shards from a previous invocation are skipped; every
+// remaining rack streams its rack-hours to its shard as its worker finishes
+// them, so the process can be killed and re-invoked at any point and the
+// finished dataset is identical to an uninterrupted run's. progress, if
+// non-nil, is called after every newly committed shard (from worker
+// goroutines, serialized per call by the manifest lock's release order but
+// not globally ordered).
+func GenerateDir(dir string, cfg fleet.Config, progress func(Progress)) (*Reader, error) {
+	w, err := Create(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	err = fleet.GenerateStream(cfg, fleet.StreamOpts{
+		Skip: w.Done,
+		Begin: func(meta fleet.RackMeta) (fleet.RackSink, error) {
+			sw, err := w.Begin(meta)
+			if err != nil {
+				return nil, err
+			}
+			return &progressSink{sw: sw, w: w, fn: progress}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	return Open(dir)
+}
+
+// Write shards an in-memory dataset into dir — the conversion path from the
+// legacy single-file format (and from fleet.Generate in tests and tools).
+func Write(dir string, ds *fleet.Dataset) error {
+	w, err := Create(dir, ds.Cfg)
+	if err != nil {
+		return err
+	}
+	for _, meta := range ds.RackMetas() {
+		if w.Done(meta.Region, meta.ID) {
+			continue
+		}
+		runs, err := ds.RackRuns(meta.Region, meta.ID)
+		if err != nil {
+			return err
+		}
+		sw, err := w.Begin(meta)
+		if err != nil {
+			return err
+		}
+		for i := range runs {
+			if err := sw.Run(runs[i]); err != nil {
+				return err
+			}
+		}
+		if err := sw.Commit(meta); err != nil {
+			return err
+		}
+	}
+	return w.Finalize()
+}

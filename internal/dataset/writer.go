@@ -1,0 +1,273 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/fleet"
+)
+
+// Writer appends shards to a dataset directory. It is safe for concurrent
+// use by the generation workers: each rack's ShardWriter is owned by one
+// goroutine, and manifest updates are serialized internally.
+type Writer struct {
+	dir string
+
+	mu  sync.Mutex
+	man *Manifest
+	idx map[string]int // shardKey -> index into man.Shards
+}
+
+// Create opens dir for (resumed) generation with cfg. A fresh directory gets
+// a manifest listing every expected shard; an existing one is validated —
+// the stored config and seed must match cfg (Workers aside), completed
+// shards are digest-verified (corrupt or missing ones are demoted to
+// pending so they regenerate), and stale temp files are removed. A config
+// or seed mismatch returns ErrConfigMismatch rather than mixing shards from
+// different generations.
+func Create(dir string, cfg fleet.Config) (*Writer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	norm := normalizeConfig(cfg)
+
+	var man *Manifest
+	if IsDir(dir) {
+		var err error
+		man, err = readManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !configsMatch(man.Config, norm) {
+			return nil, fmt.Errorf("%w: %s was generated with seed %d / %d racks x %d servers x %d hours x %d buckets; refusing to mix with seed %d / %d racks x %d servers x %d hours x %d buckets",
+				ErrConfigMismatch, dir,
+				man.Config.Seed, man.Config.RacksPerRegion, man.Config.ServersPerRack, len(man.Config.Hours), man.Config.Buckets,
+				norm.Seed, norm.RacksPerRegion, norm.ServersPerRack, len(norm.Hours), norm.Buckets)
+		}
+	} else {
+		man = &Manifest{FormatVersion: FormatVersion, Config: norm}
+		for _, spec := range fleet.BuildRacks(norm) {
+			man.Shards = append(man.Shards, ShardEntry{
+				Region: spec.Region,
+				ID:     spec.ID,
+				File:   shardFileName(spec.Region, spec.ID),
+			})
+		}
+	}
+
+	w := &Writer{dir: dir, man: man, idx: make(map[string]int, len(man.Shards))}
+	for i := range man.Shards {
+		w.idx[shardKey(man.Shards[i].Region, man.Shards[i].ID)] = i
+	}
+	if err := w.sweep(); err != nil {
+		return nil, err
+	}
+	// A resumed directory is no longer complete until Finalize runs again
+	// (it may have just demoted corrupt shards).
+	w.man.Complete = w.man.Complete && w.pending() == 0
+	if err := writeManifest(dir, man); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// sweep removes stale temp files and demotes completed shards whose file is
+// missing or fails digest verification.
+func (w *Writer) sweep() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			if err := os.Remove(filepath.Join(w.dir, e.Name())); err != nil {
+				return fmt.Errorf("dataset: %w", err)
+			}
+		}
+	}
+	for i := range w.man.Shards {
+		s := &w.man.Shards[i]
+		if !s.Complete {
+			continue
+		}
+		if err := verifyShardFile(filepath.Join(w.dir, s.File), s.Digest); err != nil {
+			// Regenerate rather than trust it; keep nothing that could mix
+			// a damaged shard into the dataset.
+			os.Remove(filepath.Join(w.dir, s.File))
+			*s = ShardEntry{Region: s.Region, ID: s.ID, File: s.File}
+		}
+	}
+	return nil
+}
+
+// verifyShardFile checks that a shard file hashes to the recorded digest.
+func verifyShardFile(path, digest string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptShard, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorruptShard, path, err)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != digest {
+		return fmt.Errorf("%w: %s digests %s, manifest records %s", ErrCorruptShard, path, got, digest)
+	}
+	return nil
+}
+
+// Done reports whether a rack's shard is already complete (the
+// fleet.GenerateStream skip hook).
+func (w *Writer) Done(region string, id int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i, ok := w.idx[shardKey(region, id)]
+	return ok && w.man.Shards[i].Complete
+}
+
+// Progress returns completed and total shard counts.
+func (w *Writer) Progress() (done, total int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.man.Shards) - w.pendingLocked(), len(w.man.Shards)
+}
+
+func (w *Writer) pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pendingLocked()
+}
+
+func (w *Writer) pendingLocked() int {
+	n := 0
+	for i := range w.man.Shards {
+		if !w.man.Shards[i].Complete {
+			n++
+		}
+	}
+	return n
+}
+
+// Begin opens the shard for one rack. The returned ShardWriter satisfies
+// fleet.RackSink: stream each rack-hour with Run, then Commit. Until Commit
+// the data lives in a temp file, so a killed generation leaves no
+// half-written shard under a final name.
+func (w *Writer) Begin(meta fleet.RackMeta) (*ShardWriter, error) {
+	w.mu.Lock()
+	i, ok := w.idx[shardKey(meta.Region, meta.ID)]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dataset: rack %s/%d not in manifest", meta.Region, meta.ID)
+	}
+	f, err := os.CreateTemp(w.dir, ".tmp-shard-")
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	h := sha256.New()
+	zw := gzip.NewWriter(io.MultiWriter(f, h))
+	sw := &ShardWriter{w: w, idx: i, f: f, tmp: f.Name(), zw: zw, enc: gob.NewEncoder(zw), hash: h}
+	if err := sw.enc.Encode(shardHeader{FormatVersion: FormatVersion, Region: meta.Region, ID: meta.ID}); err != nil {
+		sw.abort()
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return sw, nil
+}
+
+// ShardWriter streams one rack's runs into its shard file.
+type ShardWriter struct {
+	w    *Writer
+	idx  int
+	f    *os.File
+	tmp  string
+	zw   *gzip.Writer
+	enc  *gob.Encoder
+	hash hash.Hash
+
+	runs      int
+	collected int
+}
+
+// Run appends one rack-hour to the shard.
+func (sw *ShardWriter) Run(r fleet.RunSummary) error {
+	if err := sw.enc.Encode(r); err != nil {
+		sw.abort()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	sw.runs++
+	if r.Collected {
+		sw.collected++
+	}
+	return nil
+}
+
+// Commit finishes the shard: flushes and closes the file, renames it to its
+// final name, and marks it complete in the manifest with its digest. meta
+// must carry the rack's measured BusyAvgContention.
+func (sw *ShardWriter) Commit(meta fleet.RackMeta) error {
+	if err := sw.zw.Close(); err != nil {
+		sw.abort()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := sw.f.Close(); err != nil {
+		os.Remove(sw.tmp)
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := sw.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entry := &w.man.Shards[sw.idx]
+	if err := os.Rename(sw.tmp, filepath.Join(w.dir, entry.File)); err != nil {
+		os.Remove(sw.tmp)
+		return fmt.Errorf("dataset: %w", err)
+	}
+	entry.Runs = sw.runs
+	entry.Collected = sw.collected
+	entry.Digest = hex.EncodeToString(sw.hash.Sum(nil))
+	entry.Meta = meta
+	entry.Complete = true
+	return writeManifest(w.dir, w.man)
+}
+
+// abort discards the in-progress shard.
+func (sw *ShardWriter) abort() {
+	sw.f.Close()
+	os.Remove(sw.tmp)
+}
+
+// Finalize classifies the racks and marks the dataset complete. It refuses
+// while shards are pending (resume the generation first) and when every
+// recorded rack-hour failed to collect.
+func (w *Writer) Finalize() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := w.pendingLocked(); n > 0 {
+		return fmt.Errorf("%w: %d of %d shards pending", ErrIncomplete, n, len(w.man.Shards))
+	}
+	collected, runs := 0, 0
+	metas := make([]fleet.RackMeta, len(w.man.Shards))
+	for i := range w.man.Shards {
+		metas[i] = w.man.Shards[i].Meta
+		collected += w.man.Shards[i].Collected
+		runs += w.man.Shards[i].Runs
+	}
+	if runs > 0 && collected == 0 {
+		return fmt.Errorf("dataset: all %d rack-hour runs failed to collect", runs)
+	}
+	fleet.ClassifyMetas(metas)
+	w.man.Racks = metas
+	w.man.Complete = true
+	return writeManifest(w.dir, w.man)
+}

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/fleet"
 )
 
@@ -122,6 +124,48 @@ func TestRunAllOnSmallDataset(t *testing.T) {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("render missing %s", id)
 		}
+	}
+}
+
+// TestShardedMatchesLegacy proves the streaming sharded reader and the
+// in-memory dataset are interchangeable sources: every experiment must render
+// identically from both.
+func TestShardedMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	ds := testDataset(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := dataset.Write(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dataset.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(src Source) string {
+		t.Helper()
+		results, err := RunAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, r := range results {
+			r.Render(&buf)
+		}
+		return buf.String()
+	}
+	legacy := render(ds)
+	sharded := render(rd)
+	if legacy != sharded {
+		// Find the first differing line for a readable failure.
+		ll, sl := strings.Split(legacy, "\n"), strings.Split(sharded, "\n")
+		for i := 0; i < len(ll) && i < len(sl); i++ {
+			if ll[i] != sl[i] {
+				t.Fatalf("sharded output diverges at line %d:\nlegacy:  %q\nsharded: %q", i+1, ll[i], sl[i])
+			}
+		}
+		t.Fatalf("sharded output length %d != legacy %d", len(sharded), len(legacy))
 	}
 }
 

@@ -19,10 +19,13 @@ func init() {
 // links are largely idle (median bursty-run average utilization 6.4%, p95
 // <45%), utilization outside bursts is low (median 5.5%) and high inside
 // (median 65.5%), and about half the ingress bytes travel in bursts.
-func Sec6Utilization(ds *fleet.Dataset) (*Result, error) {
+func Sec6Utilization(src Source) (*Result, error) {
 	var avg, inside, outside []float64
 	var burstBytes, totalBytes float64
-	for _, run := range ds.RunsInRegion(fleet.RegA) {
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		if run.Region != fleet.RegA {
+			return nil
+		}
 		for _, s := range run.ServerRuns {
 			if !s.Bursty {
 				continue
@@ -33,6 +36,10 @@ func Sec6Utilization(ds *fleet.Dataset) (*Result, error) {
 			burstBytes += s.BurstBytes
 			totalBytes += s.InBytes
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(avg) == 0 {
 		return nil, fmt.Errorf("no bursty server runs")
@@ -55,60 +62,76 @@ func Sec6Utilization(ds *fleet.Dataset) (*Result, error) {
 }
 
 // Table1Dataset reproduces Table 1: the dataset summary per region.
-func Table1Dataset(ds *fleet.Dataset) (*Result, error) {
+func Table1Dataset(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "tab1",
 		Title:  "Dataset summary (1 simulated day)",
 		Header: []string{"region", "runs", "server runs", "bursty server runs", "bursts", "racks"},
 	}
-	for _, region := range []string{fleet.RegA, fleet.RegB} {
-		runs := ds.RunsInRegion(region)
-		var serverRuns, burstyRuns, bursts, racks int
-		rackSet := map[int]bool{}
-		for _, run := range runs {
-			rackSet[run.RackID] = true
-			serverRuns += len(run.ServerRuns)
-			for _, s := range run.ServerRuns {
-				if s.Bursty {
-					burstyRuns++
-				}
+	type regionAcc struct {
+		runs, serverRuns, burstyRuns, bursts int
+		rackSet                              map[int]bool
+	}
+	acc := map[string]*regionAcc{}
+	skipped, err := src.EachRun(func(run *fleet.RunSummary, _ fleet.Class) error {
+		a := acc[run.Region]
+		if a == nil {
+			a = &regionAcc{rackSet: map[int]bool{}}
+			acc[run.Region] = a
+		}
+		a.runs++
+		a.rackSet[run.RackID] = true
+		a.serverRuns += len(run.ServerRuns)
+		for _, s := range run.ServerRuns {
+			if s.Bursty {
+				a.burstyRuns++
 			}
-			bursts += len(run.Bursts)
 		}
-		racks = len(rackSet)
+		a.bursts += len(run.Bursts)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, region := range []string{fleet.RegA, fleet.RegB} {
+		a := acc[region]
+		if a == nil {
+			a = &regionAcc{rackSet: map[int]bool{}}
+		}
 		r.AddRow(region,
-			fmt.Sprintf("%d", len(runs)),
-			fmt.Sprintf("%d", serverRuns),
-			fmt.Sprintf("%d", burstyRuns),
-			fmt.Sprintf("%d", bursts),
-			fmt.Sprintf("%d", racks))
-		if serverRuns > 0 {
+			fmt.Sprintf("%d", a.runs),
+			fmt.Sprintf("%d", a.serverRuns),
+			fmt.Sprintf("%d", a.burstyRuns),
+			fmt.Sprintf("%d", a.bursts),
+			fmt.Sprintf("%d", len(a.rackSet)))
+		if a.serverRuns > 0 {
 			r.Notef("%s: %s of server runs bursty (paper RegA: 34%%); scaled deployment — paper has 22.4K runs over 1000s of racks",
-				region, fmtPct(float64(burstyRuns)/float64(serverRuns)))
+				region, fmtPct(float64(a.burstyRuns)/float64(a.serverRuns)))
 		}
+	}
+	if skipped > 0 {
+		r.Notef("degraded dataset: %d runs skipped (rack metadata missing)", skipped)
 	}
 	return r, nil
 }
 
-// regionBurstRecs collects all bursts of a region with their run context.
-func regionBurstRecs(ds *fleet.Dataset, region string) []fleet.BurstRec {
-	var out []fleet.BurstRec
-	for _, run := range ds.RunsInRegion(region) {
-		out = append(out, run.Bursts...)
-	}
-	return out
-}
-
 // Fig06BurstFreq reproduces Figure 6: the CDF of bursts per second across
 // bursty server runs in RegA.
-func Fig06BurstFreq(ds *fleet.Dataset) (*Result, error) {
+func Fig06BurstFreq(src Source) (*Result, error) {
 	var freqs []float64
-	for _, run := range ds.RunsInRegion(fleet.RegA) {
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		if run.Region != fleet.RegA {
+			return nil
+		}
 		for _, s := range run.ServerRuns {
 			if s.Bursty {
 				freqs = append(freqs, s.BurstsPerSec)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(freqs) == 0 {
 		return nil, fmt.Errorf("no bursty server runs")
@@ -132,16 +155,25 @@ func Fig06BurstFreq(ds *fleet.Dataset) (*Result, error) {
 
 // Fig07BurstLen reproduces Figure 7: the burst-length distribution for all,
 // contended, and non-contended bursts in RegA.
-func Fig07BurstLen(ds *fleet.Dataset) (*Result, error) {
+func Fig07BurstLen(src Source) (*Result, error) {
 	var all, contended, non []float64
-	for _, b := range regionBurstRecs(ds, fleet.RegA) {
-		l := float64(b.Len)
-		all = append(all, l)
-		if b.MaxContention >= 2 {
-			contended = append(contended, l)
-		} else {
-			non = append(non, l)
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		if run.Region != fleet.RegA {
+			return nil
 		}
+		for _, b := range run.Bursts {
+			l := float64(b.Len)
+			all = append(all, l)
+			if b.MaxContention >= 2 {
+				contended = append(contended, l)
+			} else {
+				non = append(non, l)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("no bursts")
@@ -171,9 +203,12 @@ func Fig07BurstLen(ds *fleet.Dataset) (*Result, error) {
 
 // Fig08Connections reproduces Figure 8: connection counts inside versus
 // outside bursts across bursty server runs.
-func Fig08Connections(ds *fleet.Dataset) (*Result, error) {
+func Fig08Connections(src Source) (*Result, error) {
 	var inside, outside []float64
-	for _, run := range ds.RunsInRegion(fleet.RegA) {
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		if run.Region != fleet.RegA {
+			return nil
+		}
 		for _, s := range run.ServerRuns {
 			if !s.Bursty {
 				continue
@@ -181,6 +216,10 @@ func Fig08Connections(ds *fleet.Dataset) (*Result, error) {
 			inside = append(inside, s.AvgConnsInside)
 			outside = append(outside, s.AvgConnsOutside)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(inside) == 0 {
 		return nil, fmt.Errorf("no bursty server runs")

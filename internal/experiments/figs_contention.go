@@ -19,33 +19,12 @@ func init() {
 	register("fig15", Fig15RunVariation)
 }
 
-// busyHourRun returns the run of a rack closest to the busy hour.
-func busyHourRun(ds *fleet.Dataset, region string, rackID int) *fleet.RunSummary {
-	var best *fleet.RunSummary
-	bestDist := 1 << 30
-	for i := range ds.Runs {
-		r := &ds.Runs[i]
-		if r.Region != region || r.RackID != rackID {
-			continue
-		}
-		d := r.Hour - fleet.BusyHour
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDist {
-			bestDist = d
-			best = r
-		}
-	}
-	return best
-}
-
-// rackIDs returns the rack ids of a region present in the dataset.
-func rackIDs(ds *fleet.Dataset, region string) []int {
+// rackIDs returns the rack ids of a region present in the metadata.
+func rackIDs(src Source, region string) []int {
 	var ids []int
-	for i := range ds.Racks {
-		if ds.Racks[i].Region == region {
-			ids = append(ids, ds.Racks[i].ID)
+	for _, m := range src.RackMetas() {
+		if m.Region == region {
+			ids = append(ids, m.ID)
 		}
 	}
 	sort.Ints(ids)
@@ -54,18 +33,48 @@ func rackIDs(ds *fleet.Dataset, region string) []int {
 
 // Fig09ContentionCDF reproduces Figure 9: the CDF of busy-hour average
 // contention across racks, per region.
-func Fig09ContentionCDF(ds *fleet.Dataset) (*Result, error) {
+func Fig09ContentionCDF(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig9",
 		Title:  "Average contention across racks, busy hour (CDF)",
 		Header: []string{"percentile", "RegA", "RegB"},
 	}
+	// One streaming pass keeps the busy-hour scalar per rack (first run at
+	// the minimum distance to the busy hour wins, matching schedule order).
+	type busy struct {
+		dist int
+		cont float64
+		ok   bool
+	}
+	best := map[string]*busy{}
+	key := func(region string, id int) string { return fmt.Sprintf("%s/%d", region, id) }
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		d := run.Hour - fleet.BusyHour
+		if d < 0 {
+			d = -d
+		}
+		k := key(run.Region, run.RackID)
+		b := best[k]
+		if b == nil {
+			b = &busy{dist: 1 << 30}
+			best[k] = b
+		}
+		if d < b.dist {
+			b.dist = d
+			b.cont = run.AvgContention
+			b.ok = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	byRegion := map[string]*stats.CDF{}
 	for _, region := range []string{fleet.RegA, fleet.RegB} {
 		var xs []float64
-		for _, id := range rackIDs(ds, region) {
-			if run := busyHourRun(ds, region, id); run != nil {
-				xs = append(xs, run.AvgContention)
+		for _, id := range rackIDs(src, region) {
+			if b := best[key(region, id)]; b != nil && b.ok {
+				xs = append(xs, b.cont)
 			}
 		}
 		if len(xs) == 0 {
@@ -92,9 +101,9 @@ func Fig09ContentionCDF(ds *fleet.Dataset) (*Result, error) {
 }
 
 // Fig10TaskDiversity reproduces Figure 10: distinct tasks per rack by class.
-func Fig10TaskDiversity(ds *fleet.Dataset) (*Result, error) {
+func Fig10TaskDiversity(src Source) (*Result, error) {
 	xs := map[fleet.Class][]float64{}
-	for _, m := range ds.Racks {
+	for _, m := range src.RackMetas() {
 		xs[m.Class] = append(xs[m.Class], float64(m.DistinctTasks))
 	}
 	r := &Result{
@@ -109,18 +118,19 @@ func Fig10TaskDiversity(ds *fleet.Dataset) (*Result, error) {
 		r.AddRow(fmt.Sprintf("p%.0f", p), fmtF(cT.Quantile(p)), fmtF(cH.Quantile(p)), fmtF(cB.Quantile(p)))
 	}
 	r.Notef("paper: median tasks 14 (Typical), 8 (High), 15 (RegB) on ~92-server racks; measured (on %d-server racks): %s, %s, %s",
-		ds.Cfg.ServersPerRack, fmtF(cT.Quantile(50)), fmtF(cH.Quantile(50)), fmtF(cB.Quantile(50)))
+		src.Config().ServersPerRack, fmtF(cT.Quantile(50)), fmtF(cH.Quantile(50)), fmtF(cB.Quantile(50)))
 	return r, nil
 }
 
 // Fig11DominantTask reproduces Figure 11: dominant-task server share versus
 // contention-sorted rack id, per region.
-func Fig11DominantTask(ds *fleet.Dataset) (*Result, error) {
+func Fig11DominantTask(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig11",
 		Title:  "Dominant task share across contention-sorted racks",
 		Header: []string{"region", "rack rank", "avg contention", "dominant task share"},
 	}
+	metas := src.RackMetas()
 	for _, region := range []string{fleet.RegA, fleet.RegB} {
 		type rk struct {
 			cont  float64
@@ -128,8 +138,8 @@ func Fig11DominantTask(ds *fleet.Dataset) (*Result, error) {
 		}
 		var rows []rk
 		var conts, shares []float64
-		for i := range ds.Racks {
-			m := &ds.Racks[i]
+		for i := range metas {
+			m := &metas[i]
 			if m.Region != region {
 				continue
 			}
@@ -151,27 +161,32 @@ func Fig11DominantTask(ds *fleet.Dataset) (*Result, error) {
 
 // Fig12DailyVariation reproduces Figure 12: per-rack mean/min/max of the
 // average contention across the day's runs, sorted by mean.
-func Fig12DailyVariation(ds *fleet.Dataset) (*Result, error) {
+func Fig12DailyVariation(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig12",
 		Title:  "Per-rack contention across the day (mean and min-max range)",
 		Header: []string{"region", "rack rank", "mean", "min", "max"},
 	}
+	// One pass collects each rack's day of contention scalars.
+	vals := map[string][]float64{}
+	key := func(region string, id int) string { return fmt.Sprintf("%s/%d", region, id) }
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		k := key(run.Region, run.RackID)
+		vals[k] = append(vals[k], run.AvgContention)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, region := range []string{fleet.RegA, fleet.RegB} {
 		type rackDay struct{ mean, min, max float64 }
 		var days []rackDay
-		for _, id := range rackIDs(ds, region) {
-			var vals []float64
-			for i := range ds.Runs {
-				run := &ds.Runs[i]
-				if run.Region == region && run.RackID == id {
-					vals = append(vals, run.AvgContention)
-				}
-			}
-			if len(vals) == 0 {
+		for _, id := range rackIDs(src, region) {
+			v := vals[key(region, id)]
+			if len(v) == 0 {
 				continue
 			}
-			b := stats.Summarize(vals)
+			b := stats.Summarize(v)
 			days = append(days, rackDay{mean: b.Mean, min: b.Min, max: b.Max})
 		}
 		sort.Slice(days, func(a, b int) bool { return days[a].mean < days[b].mean })
@@ -198,17 +213,27 @@ func Fig12DailyVariation(ds *fleet.Dataset) (*Result, error) {
 
 // Fig13Diurnal reproduces Figure 13: box plots of run average contention per
 // hour for RegA-High and RegB.
-func Fig13Diurnal(ds *fleet.Dataset) (*Result, error) {
+func Fig13Diurnal(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig13",
 		Title:  "Diurnal contention (per-hour box of run average contention)",
 		Header: []string{"class", "hour", "p25", "median", "p75", "p90"},
 	}
-	for _, class := range []fleet.Class{fleet.ClassAHigh, fleet.ClassB} {
-		byHour := map[int][]float64{}
-		for _, run := range ds.RunsIn(class) {
-			byHour[run.Hour] = append(byHour[run.Hour], run.AvgContention)
+	byClassHour := map[fleet.Class]map[int][]float64{}
+	err := eachRun(src, func(run *fleet.RunSummary, c fleet.Class) error {
+		byHour := byClassHour[c]
+		if byHour == nil {
+			byHour = map[int][]float64{}
+			byClassHour[c] = byHour
 		}
+		byHour[run.Hour] = append(byHour[run.Hour], run.AvgContention)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, class := range []fleet.Class{fleet.ClassAHigh, fleet.ClassB} {
+		byHour := byClassHour[class]
 		var hours []int
 		for h := range byHour {
 			hours = append(hours, h)
@@ -235,17 +260,22 @@ func Fig13Diurnal(ds *fleet.Dataset) (*Result, error) {
 }
 
 // Fig14VolumeCorr reproduces Figure 14: run average contention bucketed by
-// the rack's per-minute ingress volume.
-func Fig14VolumeCorr(ds *fleet.Dataset) (*Result, error) {
+// the rack's per-minute ingress volume. Every run participates, including
+// failed collections (their zero volume and contention are part of the
+// paper's counter view).
+func Fig14VolumeCorr(src Source) (*Result, error) {
 	const bucketGB = 4.0
 	b := stats.NewBucketed(bucketGB)
 	var vols, conts []float64
-	for i := range ds.Runs {
-		run := &ds.Runs[i]
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
 		volGB := float64(run.IngressPerMin) / 1e9
 		b.Add(volGB, run.AvgContention)
 		vols = append(vols, volGB)
 		conts = append(conts, run.AvgContention)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r := &Result{
 		ID:     "fig14",
@@ -263,20 +293,27 @@ func Fig14VolumeCorr(ds *fleet.Dataset) (*Result, error) {
 
 // Fig15RunVariation reproduces Figure 15: per-run min and p90 contention,
 // and the resulting drop in per-queue buffer share.
-func Fig15RunVariation(ds *fleet.Dataset) (*Result, error) {
+func Fig15RunVariation(src Source) (*Result, error) {
 	var mins, p90s, drops []float64
 	excluded, total := 0, 0
-	for _, run := range ds.RunsInRegion(fleet.RegA) {
+	err := eachRun(src, func(run *fleet.RunSummary, _ fleet.Class) error {
+		if run.Region != fleet.RegA {
+			return nil
+		}
 		total++
 		if !run.HasActive || run.P90Contention == 0 {
 			excluded++
-			continue
+			return nil
 		}
 		mins = append(mins, float64(run.MinActive))
 		p90s = append(p90s, run.P90Contention)
 		if run.ShareDropOK {
 			drops = append(drops, run.ShareDrop)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(drops) == 0 {
 		return nil, fmt.Errorf("no runs with buffer-share drops")

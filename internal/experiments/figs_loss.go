@@ -17,20 +17,21 @@ func init() {
 	register("fig19", Fig19IncastLoss)
 }
 
-// classBursts gathers all bursts of one rack class.
-func classBursts(ds *fleet.Dataset, c fleet.Class) []fleet.BurstRec {
-	var out []fleet.BurstRec
-	for _, run := range ds.RunsIn(c) {
-		out = append(out, run.Bursts...)
-	}
-	return out
+// eachBurst streams every burst with its rack's class, in dataset order.
+func eachBurst(src Source, fn func(c fleet.Class, b fleet.BurstRec)) error {
+	return eachRun(src, func(run *fleet.RunSummary, c fleet.Class) error {
+		for _, b := range run.Bursts {
+			fn(c, b)
+		}
+		return nil
+	})
 }
 
 var classOrder = []fleet.Class{fleet.ClassATypical, fleet.ClassAHigh, fleet.ClassB}
 
 // Table2BurstClasses reproduces Table 2: burst counts, contended fraction,
 // and lossy fraction per rack class.
-func Table2BurstClasses(ds *fleet.Dataset) (*Result, error) {
+func Table2BurstClasses(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "tab2",
 		Title:  "Bursts per rack class",
@@ -41,26 +42,38 @@ func Table2BurstClasses(ds *fleet.Dataset) (*Result, error) {
 		fleet.ClassAHigh:    {100, 0.36},
 		fleet.ClassB:        {96.8, 0.78},
 	}
+	type counts struct{ bursts, contended, lossy int }
+	byClass := map[fleet.Class]*counts{}
+	for _, c := range classOrder {
+		byClass[c] = &counts{}
+	}
+	err := eachBurst(src, func(c fleet.Class, b fleet.BurstRec) {
+		n := byClass[c]
+		if n == nil {
+			return
+		}
+		n.bursts++
+		if b.MaxContention >= 2 {
+			n.contended++
+		}
+		if b.Lossy {
+			n.lossy++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var fracLossy = map[fleet.Class]float64{}
 	for _, c := range classOrder {
-		bursts := classBursts(ds, c)
-		if len(bursts) == 0 {
+		n := byClass[c]
+		if n.bursts == 0 {
 			r.AddRow(c.String(), "0", "-", "-")
 			continue
 		}
-		var contended, lossy int
-		for _, b := range bursts {
-			if b.MaxContention >= 2 {
-				contended++
-			}
-			if b.Lossy {
-				lossy++
-			}
-		}
-		fc := float64(contended) / float64(len(bursts))
-		fl := float64(lossy) / float64(len(bursts))
+		fc := float64(n.contended) / float64(n.bursts)
+		fl := float64(n.lossy) / float64(n.bursts)
 		fracLossy[c] = fl
-		r.AddRow(c.String(), fmt.Sprintf("%d", len(bursts)), fmtPct(fc), fmtPct(fl))
+		r.AddRow(c.String(), fmt.Sprintf("%d", n.bursts), fmtPct(fc), fmtPct(fl))
 		p := paper[c]
 		r.Notef("%s paper: %.1f%% contended, %.2f%% lossy; measured: %s contended, %s lossy",
 			c, p[0], p[1], fmtPct(fc), fmtPct(fl))
@@ -74,22 +87,29 @@ func Table2BurstClasses(ds *fleet.Dataset) (*Result, error) {
 
 // Fig16ContentionLoss reproduces Figure 16: the fraction of lossy bursts per
 // maximum contention level, per class.
-func Fig16ContentionLoss(ds *fleet.Dataset) (*Result, error) {
+func Fig16ContentionLoss(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig16",
 		Title:  "% of bursts with loss vs max contention level",
 		Header: []string{"contention", "RegA-Typical", "RegA-High", "RegB", "n(T/H/B)"},
 	}
 	grp := map[fleet.Class]*stats.RatioBucketed{}
-	maxLevel := 0
 	for _, c := range classOrder {
 		grp[c] = stats.NewRatioBucketed(1)
-		for _, b := range classBursts(ds, c) {
-			grp[c].Add(float64(b.MaxContention), b.Lossy)
-			if int(b.MaxContention) > maxLevel {
-				maxLevel = int(b.MaxContention)
-			}
+	}
+	maxLevel := 0
+	err := eachBurst(src, func(c fleet.Class, b fleet.BurstRec) {
+		g := grp[c]
+		if g == nil {
+			return
 		}
+		g.Add(float64(b.MaxContention), b.Lossy)
+		if int(b.MaxContention) > maxLevel {
+			maxLevel = int(b.MaxContention)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	cell := func(c fleet.Class, level int) (string, int) {
 		for _, p := range grp[c].Points() {
@@ -117,29 +137,40 @@ func Fig16ContentionLoss(ds *fleet.Dataset) (*Result, error) {
 // Fig16AltFirstLoss checks the paper's methodology note (§8): associating
 // each lossy burst with the contention at its *first loss* instead of its
 // lifetime maximum should give slightly lower levels but the same trends.
-func Fig16AltFirstLoss(ds *fleet.Dataset) (*Result, error) {
+func Fig16AltFirstLoss(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig16alt",
 		Title:  "Lossy bursts: max contention vs contention at first loss",
 		Header: []string{"class", "lossy bursts", "mean max-contention", "mean at-first-loss"},
 	}
+	type sums struct {
+		n               int
+		sumMax, sumCAFL float64
+	}
+	byClass := map[fleet.Class]*sums{}
 	for _, c := range classOrder {
-		var n int
-		var sumMax, sumCAFL float64
-		for _, b := range classBursts(ds, c) {
-			if !b.Lossy {
-				continue
-			}
-			n++
-			sumMax += float64(b.MaxContention)
-			sumCAFL += float64(b.CAFL)
+		byClass[c] = &sums{}
+	}
+	err := eachBurst(src, func(c fleet.Class, b fleet.BurstRec) {
+		s := byClass[c]
+		if s == nil || !b.Lossy {
+			return
 		}
-		if n == 0 {
+		s.n++
+		s.sumMax += float64(b.MaxContention)
+		s.sumCAFL += float64(b.CAFL)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range classOrder {
+		s := byClass[c]
+		if s.n == 0 {
 			r.AddRow(c.String(), "0", "-", "-")
 			continue
 		}
-		r.AddRow(c.String(), fmt.Sprintf("%d", n),
-			fmtF(sumMax/float64(n)), fmtF(sumCAFL/float64(n)))
+		r.AddRow(c.String(), fmt.Sprintf("%d", s.n),
+			fmtF(s.sumMax/float64(s.n)), fmtF(s.sumCAFL/float64(s.n)))
 	}
 	r.Notef("paper: bursts see slightly lower contention at first loss than their lifetime maximum, with similar trends — at-first-loss means should be <= max-contention means")
 	return r, nil
@@ -147,17 +178,28 @@ func Fig16AltFirstLoss(ds *fleet.Dataset) (*Result, error) {
 
 // Fig17Discards reproduces Figure 17: the CDF across racks of switch
 // congestion discards normalized to traffic volume, High vs Typical.
-func Fig17Discards(ds *fleet.Dataset) (*Result, error) {
+func Fig17Discards(src Source) (*Result, error) {
+	perRack := map[fleet.Class]map[int][2]float64{
+		fleet.ClassATypical: {},
+		fleet.ClassAHigh:    {},
+	}
+	err := eachRun(src, func(run *fleet.RunSummary, c fleet.Class) error {
+		m, ok := perRack[c]
+		if !ok {
+			return nil
+		}
+		v := m[run.RackID]
+		v[0] += float64(run.Switch.DiscardBytes)
+		v[1] += float64(run.Switch.EnqueuedBytes)
+		m[run.RackID] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	norm := map[fleet.Class][]float64{}
 	for _, c := range []fleet.Class{fleet.ClassATypical, fleet.ClassAHigh} {
-		perRack := map[int][2]float64{} // rack -> {discards, bytes}
-		for _, run := range ds.RunsIn(c) {
-			v := perRack[run.RackID]
-			v[0] += float64(run.Switch.DiscardBytes)
-			v[1] += float64(run.Switch.EnqueuedBytes)
-			perRack[run.RackID] = v
-		}
-		for _, v := range perRack {
+		for _, v := range perRack[c] {
 			if v[1] > 0 {
 				norm[c] = append(norm[c], v[0]/v[1])
 			}
@@ -188,15 +230,21 @@ func Fig17Discards(ds *fleet.Dataset) (*Result, error) {
 
 // Fig18LengthLoss reproduces Figure 18: lossy-burst fraction versus burst
 // length, contended vs non-contended, in RegA-Typical racks.
-func Fig18LengthLoss(ds *fleet.Dataset) (*Result, error) {
+func Fig18LengthLoss(src Source) (*Result, error) {
 	con := stats.NewRatioBucketed(2)
 	non := stats.NewRatioBucketed(2)
-	for _, b := range classBursts(ds, fleet.ClassATypical) {
+	err := eachBurst(src, func(c fleet.Class, b fleet.BurstRec) {
+		if c != fleet.ClassATypical {
+			return
+		}
 		if b.MaxContention >= 2 {
 			con.Add(float64(b.Len), b.Lossy)
 		} else {
 			non.Add(float64(b.Len), b.Lossy)
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	r := &Result{
 		ID:     "fig18",
@@ -235,15 +283,21 @@ func Fig18LengthLoss(ds *fleet.Dataset) (*Result, error) {
 // Fig19IncastLoss reproduces Figure 19: lossy-burst fraction versus the
 // burst's average connection count, contended vs non-contended,
 // RegA-Typical.
-func Fig19IncastLoss(ds *fleet.Dataset) (*Result, error) {
+func Fig19IncastLoss(src Source) (*Result, error) {
 	con := stats.NewRatioBucketed(10)
 	non := stats.NewRatioBucketed(10)
-	for _, b := range classBursts(ds, fleet.ClassATypical) {
+	err := eachBurst(src, func(c fleet.Class, b fleet.BurstRec) {
+		if c != fleet.ClassATypical {
+			return
+		}
 		if b.MaxContention >= 2 {
 			con.Add(float64(b.AvgConns), b.Lossy)
 		} else {
 			non.Add(float64(b.AvgConns), b.Lossy)
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	r := &Result{
 		ID:     "fig19",

@@ -23,7 +23,7 @@ func init() {
 // Fig01QueueShare reproduces Figure 1: the maximum fraction of the shared
 // buffer each queue may take for different alpha and active-queue counts.
 // This is analytic — T = alpha*B/(1+alpha*S) — and needs no dataset.
-func Fig01QueueShare(*fleet.Dataset) (*Result, error) {
+func Fig01QueueShare(Source) (*Result, error) {
 	alphas := []float64{0.25, 0.5, 1, 2, 4}
 	r := &Result{
 		ID:    "fig1",
@@ -56,7 +56,7 @@ func Fig01QueueShare(*fleet.Dataset) (*Result, error) {
 // Fig03MulticastSync reproduces the §4.5 time-synchronization validation: a
 // rack-local multicast beacon must appear in the same SyncMillisampler
 // sample on all eight subscribed servers.
-func Fig03MulticastSync(*fleet.Dataset) (*Result, error) {
+func Fig03MulticastSync(Source) (*Result, error) {
 	rack := testbed.NewRack(testbed.RackConfig{Servers: 8, Seed: 40304})
 	subs := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	beacon := workload.NewMulticastBeacon(rack, subs, 100*sim.Millisecond, 256<<10, 2_000_000_000)
@@ -111,7 +111,7 @@ func Fig03MulticastSync(*fleet.Dataset) (*Result, error) {
 // Fig04BurstIdent reproduces the §4.5 burst-identification validation: five
 // clients receive periodic 1.8 MB bursts; post-analysis must identify five
 // simultaneously bursty servers.
-func Fig04BurstIdent(*fleet.Dataset) (*Result, error) {
+func Fig04BurstIdent(Source) (*Result, error) {
 	rack := testbed.NewRack(testbed.RackConfig{Servers: 8, Seed: 40405})
 	clients := []int{0, 1, 2, 3, 4}
 	gen := workload.NewBurstGen(rack, clients, 100*sim.Millisecond, 1_800_000)
@@ -154,12 +154,38 @@ func Fig04BurstIdent(*fleet.Dataset) (*Result, error) {
 // and one high-contention, summarized as burst rasters and contention
 // ranges. The raw runs are regenerated deterministically from the dataset
 // seed rather than stored.
-func Fig05DeepDive(ds *fleet.Dataset) (*Result, error) {
+func Fig05DeepDive(src Source) (*Result, error) {
 	r := &Result{
 		ID:     "fig5",
 		Title:  "Deep dive into a low- and a high-contention run",
 		Header: []string{"run", "bursty servers", "bursts", "contention min/mean/max"},
 	}
+	// One streaming pass picks the busiest run of each class as its
+	// exemplar. The callback's run is only valid during the call, so the
+	// retained pick is a copy.
+	type exemplar struct {
+		run fleet.RunSummary
+		ok  bool
+	}
+	best := map[fleet.Class]*exemplar{
+		fleet.ClassATypical: {},
+		fleet.ClassAHigh:    {},
+	}
+	err := eachRun(src, func(run *fleet.RunSummary, c fleet.Class) error {
+		e, want := best[c]
+		if !want {
+			return nil
+		}
+		if !e.ok || run.AvgContention > e.run.AvgContention {
+			e.run = *run
+			e.ok = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := src.Config()
 	for _, pick := range []struct {
 		label string
 		class fleet.Class
@@ -167,23 +193,16 @@ func Fig05DeepDive(ds *fleet.Dataset) (*Result, error) {
 		{"low (RegA-Typical)", fleet.ClassATypical},
 		{"high (RegA-High)", fleet.ClassAHigh},
 	} {
-		runs := ds.RunsIn(pick.class)
-		if len(runs) == 0 {
+		e := best[pick.class]
+		if !e.ok {
 			r.Notef("no %s runs in dataset", pick.label)
 			continue
 		}
-		// Use the class's busiest run as the exemplar.
-		best := runs[0]
-		for _, run := range runs {
-			if run.AvgContention > best.AvgContention {
-				best = run
-			}
-		}
-		spec, ok := fleet.FindRack(ds.Cfg, best.Region, best.RackID)
+		spec, ok := fleet.FindRack(cfg, e.run.Region, e.run.RackID)
 		if !ok {
-			return nil, fmt.Errorf("rack %s/%d not reconstructible", best.Region, best.RackID)
+			return nil, fmt.Errorf("rack %s/%d not reconstructible", e.run.Region, e.run.RackID)
 		}
-		sr, _, err := fleet.SimulateRun(ds.Cfg, spec, best.Hour)
+		sr, _, err := fleet.SimulateRun(cfg, spec, e.run.Hour)
 		if err != nil {
 			return nil, err
 		}

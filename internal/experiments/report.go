@@ -134,8 +134,31 @@ func (r *Result) RenderMarkdown(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Generator produces one experiment from a dataset.
-type Generator func(ds *fleet.Dataset) (*Result, error)
+// Source is the dataset view the experiments consume. Both the in-memory
+// *fleet.Dataset and the sharded on-disk *dataset.Reader satisfy it, so every
+// experiment works unchanged on either; with a sharded reader the runs stream
+// one shard at a time and peak memory stays bounded by one rack plus the
+// experiment's accumulators.
+type Source interface {
+	// Config returns the generation configuration.
+	Config() fleet.Config
+	// RackMetas returns the classified per-rack metadata.
+	RackMetas() []fleet.RackMeta
+	// EachRun streams every run with its rack's class, in dataset order. Runs
+	// whose rack metadata is missing are skipped and counted, not delivered.
+	// The *RunSummary is only valid during the callback — copy to retain.
+	EachRun(fn func(r *fleet.RunSummary, c fleet.Class) error) (skipped int, err error)
+}
+
+// eachRun streams src's runs, discarding the skipped-run count (tab1 is the
+// one experiment that surfaces it).
+func eachRun(src Source, fn func(r *fleet.RunSummary, c fleet.Class) error) error {
+	_, err := src.EachRun(fn)
+	return err
+}
+
+// Generator produces one experiment from a dataset source.
+type Generator func(src Source) (*Result, error)
 
 // registry maps experiment ids to generators, populated by init functions in
 // the per-figure files.
@@ -154,19 +177,19 @@ func IDs() []string {
 }
 
 // Run executes one experiment by id.
-func Run(id string, ds *fleet.Dataset) (*Result, error) {
+func Run(id string, src Source) (*Result, error) {
 	g, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return g(ds)
+	return g(src)
 }
 
 // RunAll executes every registered experiment in id order.
-func RunAll(ds *fleet.Dataset) ([]*Result, error) {
+func RunAll(src Source) ([]*Result, error) {
 	var out []*Result
 	for _, id := range IDs() {
-		r, err := Run(id, ds)
+		r, err := Run(id, src)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)
 		}

@@ -6,6 +6,7 @@
 package fleet
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 
@@ -98,6 +99,49 @@ func SmallConfig() Config {
 	c.Buckets = 400
 	return c
 }
+
+// PaperConfig is the paper-scale dataset: ~1000 racks per region of 92
+// servers, sampled hourly with the paper's 2 s windows (2000 × 1 ms). At
+// 48,000 rack-hours it is a multi-hour generation — run it through the
+// sharded cmd/fleetgen output so it can be produced in installments and
+// resumed after interruption.
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.RacksPerRegion = 1000
+	c.ServersPerRack = 92
+	c.Hours = make([]int, 24)
+	for h := range c.Hours {
+		c.Hours[h] = h
+	}
+	c.Buckets = 2000
+	return c
+}
+
+// Validate rejects configurations the dataset encoding cannot represent:
+// BurstRec stores server indices, burst lengths, and contention levels as
+// int16, so ServersPerRack and Buckets (which bound burst length in samples)
+// must not exceed MaxInt16. Zero values mean "use the default" and pass.
+func (c Config) Validate() error {
+	if c.ServersPerRack > math.MaxInt16 {
+		return fmt.Errorf("fleet: ServersPerRack %d exceeds %d (BurstRec stores server indices and contention as int16)",
+			c.ServersPerRack, math.MaxInt16)
+	}
+	if c.Buckets > math.MaxInt16 {
+		return fmt.Errorf("fleet: Buckets %d exceeds %d (BurstRec stores burst lengths in samples as int16)",
+			c.Buckets, math.MaxInt16)
+	}
+	for _, h := range c.Hours {
+		if h < 0 || h > 23 {
+			return fmt.Errorf("fleet: hour %d outside [0,23]", h)
+		}
+	}
+	return nil
+}
+
+// WithDefaults returns the configuration with every zero field replaced by
+// its DefaultConfig value — the normalized form recorded in dataset
+// manifests and used throughout generation.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()

@@ -265,7 +265,80 @@ func TestDatasetGobRoundTrip(t *testing.T) {
 	if out.Runs[0].AvgContention != ds.Runs[0].AvgContention {
 		t.Error("round trip changed values")
 	}
-	if out.ClassOf(&out.Runs[0]) != ds.ClassOf(&ds.Runs[0]) {
+	co, cok := out.ClassOf(&out.Runs[0])
+	cd, dok := ds.ClassOf(&ds.Runs[0])
+	if !cok || !dok || co != cd {
 		t.Error("classification lost in round trip")
+	}
+}
+
+func TestClassOfMissingRackExplicit(t *testing.T) {
+	// A partially written or corrupt dataset can hold runs whose rack is
+	// absent from the metadata. ClassOf must say so instead of silently
+	// returning ClassB, and the streaming/filtering accessors must skip (and
+	// count) such runs.
+	ds := &Dataset{
+		Racks: []RackMeta{{Region: RegA, ID: 0, Class: ClassAHigh}},
+		Runs: []RunSummary{
+			{Region: RegA, RackID: 0, Hour: 6, Collected: true},
+			{Region: RegB, RackID: 7, Hour: 6, Collected: true}, // no metadata
+		},
+	}
+	if _, ok := ds.ClassOf(&ds.Runs[0]); !ok {
+		t.Error("known rack reported as missing")
+	}
+	if c, ok := ds.ClassOf(&ds.Runs[1]); ok {
+		t.Errorf("missing rack silently classified as %v", c)
+	}
+	if n := len(ds.RunsIn(ClassB)); n != 0 {
+		t.Errorf("RunsIn(ClassB) returned %d runs for a rack with no metadata", n)
+	}
+	seen := 0
+	skipped, err := ds.EachRun(func(*RunSummary, Class) error { seen++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 || skipped != 1 {
+		t.Errorf("EachRun delivered %d runs, skipped %d; want 1 and 1", seen, skipped)
+	}
+}
+
+func TestSat16Saturates(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int16
+	}{
+		{0, 0}, {42, 42}, {32767, 32767},
+		{32768, 32767}, {100000, 32767}, {-1, -1}, {-40000, -32768},
+	}
+	for _, c := range cases {
+		if got := sat16(c.in); got != c.want {
+			t.Errorf("sat16(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidateBounds(t *testing.T) {
+	ok := SmallConfig()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("small config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config (all defaults) invalid: %v", err)
+	}
+	big := SmallConfig()
+	big.ServersPerRack = 40000
+	if err := big.Validate(); err == nil {
+		t.Error("ServersPerRack 40000 passed validation; BurstRec stores server as int16")
+	}
+	big = SmallConfig()
+	big.Buckets = 70000
+	if err := big.Validate(); err == nil {
+		t.Error("Buckets 70000 passed validation; BurstRec stores burst length as int16")
+	}
+	big = SmallConfig()
+	big.Hours = []int{25}
+	if err := big.Validate(); err == nil {
+		t.Error("hour 25 passed validation")
 	}
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -127,19 +128,23 @@ func (d *Dataset) ensureIndex() {
 	})
 }
 
-// ClassOf returns the measured class of a run's rack.
-func (d *Dataset) ClassOf(r *RunSummary) Class {
+// ClassOf returns the measured class of a run's rack. The second result is
+// false when the rack is absent from the dataset's metadata — a partially
+// written or corrupt dataset — so callers must skip (and ideally count) the
+// run instead of silently misclassifying it.
+func (d *Dataset) ClassOf(r *RunSummary) (Class, bool) {
 	if m := d.Rack(r.Region, r.RackID); m != nil {
-		return m.Class
+		return m.Class, true
 	}
-	return ClassB
+	return ClassB, false
 }
 
-// RunsIn filters runs by class.
+// RunsIn filters runs by class. Runs whose rack metadata is missing are
+// excluded; use EachRun to observe the skip count.
 func (d *Dataset) RunsIn(c Class) []*RunSummary {
 	var out []*RunSummary
 	for i := range d.Runs {
-		if d.ClassOf(&d.Runs[i]) == c {
+		if rc, ok := d.ClassOf(&d.Runs[i]); ok && rc == c {
 			out = append(out, &d.Runs[i])
 		}
 	}
@@ -155,6 +160,44 @@ func (d *Dataset) RunsInRegion(region string) []*RunSummary {
 		}
 	}
 	return out
+}
+
+// Config returns the generation configuration. Together with RackMetas,
+// EachRun, and RackRuns it satisfies the streaming source interface the
+// experiments and inspection tools consume, so an in-memory dataset and a
+// sharded on-disk dataset are interchangeable.
+func (d *Dataset) Config() Config { return d.Cfg }
+
+// RackMetas returns the per-rack metadata.
+func (d *Dataset) RackMetas() []RackMeta { return d.Racks }
+
+// EachRun invokes fn for every run together with its rack's measured class,
+// in dataset order. Runs whose rack metadata is missing are not delivered;
+// their count is returned. The *RunSummary is only valid for the duration of
+// the callback — copy it to retain it.
+func (d *Dataset) EachRun(fn func(r *RunSummary, c Class) error) (skipped int, err error) {
+	for i := range d.Runs {
+		c, ok := d.ClassOf(&d.Runs[i])
+		if !ok {
+			skipped++
+			continue
+		}
+		if err := fn(&d.Runs[i], c); err != nil {
+			return skipped, err
+		}
+	}
+	return skipped, nil
+}
+
+// RackRuns returns one rack's runs in hour order.
+func (d *Dataset) RackRuns(region string, id int) ([]RunSummary, error) {
+	var out []RunSummary
+	for i := range d.Runs {
+		if d.Runs[i].Region == region && d.Runs[i].RackID == id {
+			out = append(out, d.Runs[i])
+		}
+	}
+	return out, nil
 }
 
 // SimulateRun executes one rack-hour run and returns the aligned SyncRun
@@ -210,6 +253,20 @@ func SimulateRun(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchDelt
 	return sr, delta, nil
 }
 
+// sat16 converts a non-negative count to int16, saturating at MaxInt16
+// instead of wrapping negative. Config.Validate bounds the configurations
+// that could overflow, but the clamp keeps a hand-built config from silently
+// corrupting the dataset.
+func sat16(v int) int16 {
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return int16(v)
+}
+
 // summarize reduces a run to its RunSummary.
 func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) RunSummary {
 	ra := analysis.Analyze(sr, analysis.DefaultOptions())
@@ -233,12 +290,12 @@ func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) Run
 	rs.ShareDrop, rs.ShareDropOK = ra.BufferShareDrop()
 	for _, b := range ra.Bursts {
 		rs.Bursts = append(rs.Bursts, BurstRec{
-			Server:        int16(b.Server),
-			Len:           int16(b.Len()),
+			Server:        sat16(b.Server),
+			Len:           sat16(b.Len()),
 			Volume:        float32(b.Volume),
 			AvgConns:      float32(b.AvgConns),
-			MaxContention: int16(b.MaxContention),
-			CAFL:          int16(b.ContentionAtFirstLoss),
+			MaxContention: sat16(b.MaxContention),
+			CAFL:          sat16(b.ContentionAtFirstLoss),
 			Lossy:         b.Lossy,
 		})
 	}
@@ -248,127 +305,250 @@ func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) Run
 	return rs
 }
 
-// Generate simulates the full schedule: every rack of both regions, one
-// SyncMillisampler run per configured hour, in parallel across workers.
-func Generate(cfg Config) (*Dataset, error) {
+// RackSink consumes one rack's results as they are produced. Run is called
+// once per scheduled hour, in schedule order, from the worker goroutine that
+// owns the rack; Commit is called after the last hour with the rack's
+// finished metadata (BusyAvgContention set, Class not — classification needs
+// every rack and happens at dataset assembly or manifest finalize). A sink
+// is used by exactly one goroutine; distinct racks' sinks run concurrently.
+type RackSink interface {
+	Run(RunSummary) error
+	Commit(RackMeta) error
+}
+
+// StreamOpts configures a streaming generation.
+type StreamOpts struct {
+	// Skip, if non-nil, reports racks whose results already exist; they are
+	// not simulated and their sink is never created. This is the resume
+	// hook: the sharded pipeline skips digest-verified completed shards.
+	Skip func(region string, id int) bool
+	// Begin opens the sink for one rack. The meta carries the placement
+	// facts (region, id, ML domination, intensity, task stats); measured
+	// fields are zero until Commit.
+	Begin func(meta RackMeta) (RackSink, error)
+}
+
+// specMeta derives the placement metadata of a rack spec.
+func specMeta(spec *RackSpec) RackMeta {
+	return RackMeta{
+		Region:        spec.Region,
+		ID:            spec.ID,
+		MLDominated:   spec.MLDominated,
+		Intensity:     spec.Intensity,
+		DistinctTasks: spec.DistinctTasks(),
+		DominantShare: spec.DominantTaskShare(),
+	}
+}
+
+// GenerateStream simulates the full schedule rack by rack, streaming each
+// completed rack-hour into the rack's sink as it finishes. Racks are
+// distributed over cfg.Workers long-lived workers, so peak memory per worker
+// is one rack-hour plus the summaries of the rack in progress — never the
+// fleet. The set of produced runs is independent of worker count and
+// scheduling; only completion order varies. The first sink or setup error
+// aborts the generation (simulation failures of individual rack-hours are
+// recorded in the run, not fatal).
+func GenerateStream(cfg Config, opts StreamOpts) error {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if opts.Begin == nil {
+		return fmt.Errorf("fleet: GenerateStream needs a Begin hook")
+	}
 	racks := BuildRacks(cfg)
 
-	type job struct {
-		rack int
-		hour int
-	}
-	var jobs []job
-	for r := range racks {
-		for _, h := range cfg.Hours {
-			jobs = append(jobs, job{rack: r, hour: h})
+	var todo []int
+	for i := range racks {
+		if opts.Skip != nil && opts.Skip(racks[i].Region, racks[i].ID) {
+			continue
 		}
+		todo = append(todo, i)
 	}
 
-	// cfg.Workers long-lived workers pull job indices from a channel: the
-	// goroutine count stays bounded by the worker count instead of the job
-	// count, and each rack-hour's cost is paid where it runs. Each worker
-	// writes only its own runs[ji] slot, so no further synchronization is
-	// needed; the result is independent of worker count or scheduling.
-	runs := make([]RunSummary, len(jobs))
 	workers := cfg.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(todo) {
+		workers = len(todo)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	jobc := make(chan int)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	aborted := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	idxc := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ji := range jobc {
-				j := jobs[ji]
-				sr, delta, err := SimulateRun(cfg, racks[j.rack], j.hour)
-				if err != nil {
-					// A failed rack-hour is recorded, not fatal: the rest of
-					// the day's schedule proceeds and the dataset keeps the gap.
-					runs[ji] = RunSummary{
-						Region:     racks[j.rack].Region,
-						RackID:     racks[j.rack].ID,
-						Hour:       j.hour,
-						FailReason: err.Error(),
-					}
+			for ri := range idxc {
+				if aborted() {
 					continue
 				}
-				runs[ji] = summarize(racks[j.rack], j.hour, sr, delta)
+				spec := &racks[ri]
+				meta := specMeta(spec)
+				sink, err := opts.Begin(meta)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				runs := make([]RunSummary, 0, len(cfg.Hours))
+				failed := false
+				for _, h := range cfg.Hours {
+					var run RunSummary
+					sr, delta, err := SimulateRun(cfg, *spec, h)
+					if err != nil {
+						// A failed rack-hour is recorded, not fatal: the rest
+						// of the day's schedule proceeds and the dataset
+						// keeps the gap.
+						run = RunSummary{
+							Region:     spec.Region,
+							RackID:     spec.ID,
+							Hour:       h,
+							FailReason: err.Error(),
+						}
+					} else {
+						run = summarize(*spec, h, sr, delta)
+					}
+					runs = append(runs, run)
+					if err := sink.Run(run); err != nil {
+						setErr(err)
+						failed = true
+						break
+					}
+				}
+				if failed {
+					continue
+				}
+				meta.BusyAvgContention = busyContention(runs)
+				if err := sink.Commit(meta); err != nil {
+					setErr(err)
+				}
 			}
 		}()
 	}
-	for ji := range jobs {
-		jobc <- ji
+	for _, ri := range todo {
+		idxc <- ri
 	}
-	close(jobc)
+	close(idxc)
 	wg.Wait()
-	collected := 0
-	for i := range runs {
-		if runs[i].Collected {
-			collected++
-		}
+	return firstErr
+}
+
+// memSink collects one rack's results into a pre-assigned slot, so assembly
+// order is the BuildRacks order regardless of completion order.
+type memSink struct {
+	meta *RackMeta
+	runs *[]RunSummary
+}
+
+func (s *memSink) Run(r RunSummary) error {
+	*s.runs = append(*s.runs, r)
+	return nil
+}
+
+func (s *memSink) Commit(meta RackMeta) error {
+	*s.meta = meta
+	return nil
+}
+
+// Generate simulates the full schedule: every rack of both regions, one
+// SyncMillisampler run per configured hour, in parallel across workers. It
+// is the in-memory form of GenerateStream; cmd/fleetgen's sharded output
+// streams the same runs to disk instead.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	racks := BuildRacks(cfg)
+
+	metas := make([]RackMeta, len(racks))
+	rackRuns := make([][]RunSummary, len(racks))
+	slot := make(map[string]int, len(racks))
+	for i := range racks {
+		slot[rackKey(racks[i].Region, racks[i].ID)] = i
 	}
-	if len(runs) > 0 && collected == 0 {
-		return nil, fmt.Errorf("fleet: all %d rack-hour runs failed (first: %s)",
-			len(runs), runs[0].FailReason)
+	err := GenerateStream(cfg, StreamOpts{
+		Begin: func(meta RackMeta) (RackSink, error) {
+			i := slot[rackKey(meta.Region, meta.ID)]
+			return &memSink{meta: &metas[i], runs: &rackRuns[i]}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	ds := &Dataset{Cfg: cfg, Runs: runs}
-	for _, spec := range racks {
-		ds.Racks = append(ds.Racks, RackMeta{
-			Region:        spec.Region,
-			ID:            spec.ID,
-			MLDominated:   spec.MLDominated,
-			Intensity:     spec.Intensity,
-			DistinctTasks: spec.DistinctTasks(),
-			DominantShare: spec.DominantTaskShare(),
-		})
+	ds := &Dataset{Cfg: cfg, Racks: metas}
+	collected := 0
+	for i := range rackRuns {
+		for j := range rackRuns[i] {
+			if rackRuns[i][j].Collected {
+				collected++
+			}
+		}
+		ds.Runs = append(ds.Runs, rackRuns[i]...)
 	}
-	ds.classify()
+	if len(ds.Runs) > 0 && collected == 0 {
+		return nil, fmt.Errorf("fleet: all %d rack-hour runs failed (first: %s)",
+			len(ds.Runs), ds.Runs[0].FailReason)
+	}
+	ClassifyMetas(ds.Racks)
 	return ds, nil
 }
 
-// classify labels racks from measured busy-hour contention: the top 20% of
-// RegA racks become RegA-High, exactly as the paper partitions Figure 9.
-func (d *Dataset) classify() {
-	d.ensureIndex()
-	// Busy-hour (or nearest sampled hour) average contention per rack.
-	busy := make(map[string]float64)
-	bestDist := make(map[string]int)
-	for i := range d.Runs {
-		r := &d.Runs[i]
-		key := rackKey(r.Region, r.RackID)
-		dist := r.Hour - BusyHour
+// busyContention picks a rack's busy-hour statistic: the average contention
+// of the run closest to BusyHour (first wins on distance ties, matching the
+// schedule order the dataset has always used).
+func busyContention(runs []RunSummary) float64 {
+	best, bestDist := 0.0, 1<<30
+	for i := range runs {
+		dist := runs[i].Hour - BusyHour
 		if dist < 0 {
 			dist = -dist
 		}
-		if prev, ok := bestDist[key]; !ok || dist < prev {
-			bestDist[key] = dist
-			busy[key] = r.AvgContention
+		if dist < bestDist {
+			bestDist = dist
+			best = runs[i].AvgContention
 		}
 	}
+	return best
+}
+
+// ClassifyMetas labels racks from measured busy-hour contention: the top 20%
+// of RegA racks become RegA-High, exactly as the paper partitions Figure 9.
+// BusyAvgContention must already be set on every meta. It is exported so the
+// sharded dataset pipeline can classify from shard metadata at finalize time
+// with the identical rule.
+func ClassifyMetas(metas []RackMeta) {
 	var regA []int
-	for i := range d.Racks {
-		m := &d.Racks[i]
-		m.BusyAvgContention = busy[rackKey(m.Region, m.ID)]
-		if m.Region == RegA {
+	for i := range metas {
+		if metas[i].Region == RegA {
 			regA = append(regA, i)
-			m.Class = ClassATypical
+			metas[i].Class = ClassATypical
 		} else {
-			m.Class = ClassB
+			metas[i].Class = ClassB
 		}
 	}
 	sort.Slice(regA, func(a, b int) bool {
-		return d.Racks[regA[a]].BusyAvgContention > d.Racks[regA[b]].BusyAvgContention
+		return metas[regA[a]].BusyAvgContention > metas[regA[b]].BusyAvgContention
 	})
 	nHigh := len(regA) / 5
 	for k := 0; k < nHigh; k++ {
-		d.Racks[regA[k]].Class = ClassAHigh
+		metas[regA[k]].Class = ClassAHigh
 	}
 }
 
