@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/sketch"
+	"repro/internal/sweep"
 	"repro/internal/switchsim"
 	"repro/internal/testbed"
 	"repro/internal/transport"
@@ -89,6 +90,37 @@ func BenchmarkFig16ContentionLoss(b *testing.B) { benchExperiment(b, "fig16") }
 func BenchmarkFig17Discards(b *testing.B)       { benchExperiment(b, "fig17") }
 func BenchmarkFig18LengthLoss(b *testing.B)     { benchExperiment(b, "fig18") }
 func BenchmarkFig19IncastLoss(b *testing.B)     { benchExperiment(b, "fig19") }
+
+// BenchmarkSweepSmoke runs a complete 2-point what-if sweep (baseline vs
+// complete-sharing over a 2-rack fleet) per iteration — the counterfactual
+// engine's end-to-end cost, gated alongside the figure regenerations.
+func BenchmarkSweepSmoke(b *testing.B) {
+	spec := sweep.Spec{
+		Name: "bench-smoke",
+		Fleet: fleet.Config{
+			Seed:           2022,
+			RacksPerRegion: 1,
+			ServersPerRack: 12,
+			Hours:          []int{6},
+			Buckets:        200,
+		},
+		Policies: []switchsim.Policy{switchsim.PolicyComplete},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp(b.TempDir(), "sweep-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sweep.Run(dir, spec, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 2 {
+			b.Fatalf("sweep produced %d points, want 2", len(res.Points))
+		}
+	}
+}
 
 // ---- §4.3 performance microbenchmarks ----
 

@@ -78,7 +78,7 @@ func runCmd(args []string) {
 	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
 	micro := fs.String("bench", "Sampler|PcapLike|Engine", "regex of microbenchmarks (default benchtime)")
 	microTime := fs.String("micro-time", "1s", "benchtime for the microbenchmarks")
-	figs := fs.String("figs", "Fig|Table", "regex of figure/table benchmarks (fixed iteration count)")
+	figs := fs.String("figs", "Fig|Table|Sweep", "regex of figure/table/sweep benchmarks (fixed iteration count)")
 	figCount := fs.Int("fig-count", 3, "iterations for figure/table benchmarks")
 	fs.Parse(args)
 

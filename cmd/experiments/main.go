@@ -10,6 +10,9 @@
 // single file. With -data pointing at an existing dataset it is loaded;
 // otherwise the preset is generated, and saved there when -data is given
 // (sharded unless the path ends in .gob.gz).
+//
+// -sweep appends the what-if counterfactual tables (§9) from a completed
+// cmd/sweep result directory to the report.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -31,6 +35,7 @@ func main() {
 	data := flag.String("data", "", "dataset path to load from / save to (directory or .gob.gz)")
 	seed := flag.Uint64("seed", 0, "override dataset seed")
 	racks := flag.Int("racks", 0, "override racks per region")
+	sweepDir := flag.String("sweep", "", "completed cmd/sweep result directory: append its what-if tables")
 	md := flag.String("md", "", "also write results as markdown to this file")
 	plot := flag.Bool("plot", false, "render ASCII plots for figures that carry curves")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -72,6 +77,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *sweepDir != "" {
+		res, serr := sweep.Open(*sweepDir)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", serr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded sweep: %d points from %s\n", len(res.Points), *sweepDir)
+		results = append(results, sweep.Report(res)...)
 	}
 	for _, r := range results {
 		r.Render(os.Stdout)

@@ -8,10 +8,15 @@
 // it left off. An output path ending in .gob.gz selects the legacy
 // single-file format instead (no resume, whole dataset in memory).
 //
+// The -policy/-alpha/-ecn flags generate the fleet under a counterfactual
+// ToR configuration instead of the baseline (dynamic thresholds, alpha 1) —
+// a single what-if dataset; for full grids see cmd/sweep.
+//
 // Usage:
 //
 //	fleetgen -preset paper -o fleet.ds      # sharded, resumable
 //	fleetgen -preset small -o small.gob.gz  # legacy single file
+//	fleetgen -preset small -policy dt -alpha 4 -o whatif.ds
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/fleet"
+	"repro/internal/switchsim"
 	"repro/internal/trace"
 )
 
@@ -37,6 +43,9 @@ func main() {
 	buckets := flag.Int("buckets", 0, "override sampler buckets per run")
 	hours := flag.String("hours", "", "override sampled hours, e.g. 0,6,12,18")
 	workers := flag.Int("workers", 0, "override generation parallelism")
+	policy := flag.String("policy", "", "counterfactual sharing policy: dt, static, or complete")
+	alpha := flag.Float64("alpha", 0, "counterfactual DT alpha (requires -policy)")
+	ecn := flag.Int("ecn", 0, "counterfactual ECN marking threshold in bytes (requires -policy)")
 	flag.Parse()
 
 	var cfg fleet.Config
@@ -80,6 +89,23 @@ func main() {
 			}
 			cfg.Hours = append(cfg.Hours, h)
 		}
+	}
+	if *policy == "" && (*alpha != 0 || *ecn != 0) {
+		fmt.Fprintln(os.Stderr, "fleetgen: -alpha/-ecn need -policy (use -policy dt for baseline-style sharing)")
+		os.Exit(1)
+	}
+	if *policy != "" {
+		p, err := switchsim.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetgen:", err)
+			os.Exit(1)
+		}
+		cfg.Switch = fleet.SwitchOverride{Policy: p, Alpha: *alpha, ECNThreshold: *ecn}
+		fmt.Fprintf(os.Stderr, "fleetgen: counterfactual switch config: %s\n", cfg.Switch)
+	}
+	if err := cfg.WithDefaults().Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
 	}
 
 	fmt.Fprintf(os.Stderr, "fleetgen: %d racks/region x %d servers x %d hours, seed %d\n",

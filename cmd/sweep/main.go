@@ -1,0 +1,194 @@
+// Command sweep executes a what-if sweep: it re-runs the simulated fleet's
+// rack-hours under a grid of counterfactual ToR configurations (sharing
+// policy × DT alpha × ECN threshold × buffer sizing) and reports every
+// point's loss, ECN, burst, and peak-occupancy movement against the measured
+// baseline (dynamic thresholds, alpha 1) — the paper's §9 question asked of
+// the simulation.
+//
+// The result directory is resumable in the style of cmd/fleetgen: every
+// point commits atomically with a digest, so a killed sweep re-invoked with
+// the same spec verifies completed points and computes only the remainder,
+// ending at a byte-identical result. A different spec or seed over the same
+// directory is refused.
+//
+// Usage:
+//
+//	sweep -preset smoke -o sweep.out            # 2-point sanity sweep
+//	sweep -preset demo -o sweep.out -md W.md    # 14-point policy/alpha/ECN grid
+//	sweep -spec my.json -o sweep.out            # declarative spec (JSON)
+//	sweep -spec my.json -o sweep.out -plan      # print the grid, run nothing
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fsutil"
+	"repro/internal/sweep"
+	"repro/internal/switchsim"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "sweep spec JSON (see -preset for built-ins)")
+	preset := flag.String("preset", "", "built-in spec: smoke (2 points) or demo (14 points)")
+	out := flag.String("o", "sweep.out", "result directory (resumable)")
+	workers := flag.Int("workers", 0, "override simulation parallelism")
+	maxPoints := flag.Int("max-points", 0, "stop after N new points (installment execution)")
+	plan := flag.Bool("plan", false, "print the expanded point grid and exit")
+	md := flag.String("md", "", "also write the report as markdown to this file")
+	flag.Parse()
+
+	spec, err := resolveSpec(*specPath, *preset)
+	if err != nil {
+		fail(err)
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		fail(err)
+	}
+	if *plan {
+		fmt.Printf("%s: %d points over %d racks/region x %d servers x %d hours, seed %d\n",
+			name(spec), len(pts), spec.Fleet.WithDefaults().RacksPerRegion,
+			spec.Fleet.WithDefaults().ServersPerRack, len(spec.Fleet.WithDefaults().Hours), spec.Fleet.Seed)
+		for _, p := range pts {
+			fmt.Printf("  %3d  %s\n", p.Index, p.Label)
+		}
+		return
+	}
+
+	start := time.Now()
+	doneAtStart := 0
+	if sweep.IsDir(*out) {
+		if st, err := sweep.Create(*out, spec); err == nil {
+			done, total := st.Progress()
+			doneAtStart = done
+			if done > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: resuming %s: %d/%d points already committed\n", *out, done, total)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %s: %d points, %d rack-hours each\n",
+		name(spec), len(pts),
+		2*spec.Fleet.WithDefaults().RacksPerRegion*len(spec.Fleet.WithDefaults().Hours))
+
+	progress := func(p sweep.Progress) {
+		elapsed := time.Since(start)
+		eta := "-"
+		if fresh := p.Done - doneAtStart; fresh > 0 && p.Done < p.Total {
+			remaining := time.Duration(float64(elapsed) / float64(fresh) * float64(p.Total-p.Done))
+			eta = remaining.Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "sweep: point %d (%s) done — %d/%d, eta %s\n",
+			p.Index, p.Label, p.Done, p.Total, eta)
+	}
+	res, err := sweep.Run(*out, spec, sweep.Options{
+		Workers: *workers, MaxPoints: *maxPoints, Progress: progress,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, sweep.ErrIncomplete):
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			return
+		case errors.Is(err, sweep.ErrSpecMismatch):
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			fmt.Fprintln(os.Stderr, "sweep: use a fresh -o directory for a different spec or seed")
+		default:
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+		os.Exit(1)
+	}
+
+	results := sweep.Report(res)
+	for _, r := range results {
+		r.Render(os.Stdout)
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range results {
+			r.RenderMarkdown(f)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote markdown to %s\n", *md)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d points -> %s in %v (result digest %s)\n",
+		len(res.Points), *out, time.Since(start).Round(time.Second), res.Manifest.ResultDigest)
+}
+
+// resolveSpec picks the spec from -spec or -preset (exactly one).
+func resolveSpec(path, preset string) (sweep.Spec, error) {
+	switch {
+	case path != "" && preset != "":
+		return sweep.Spec{}, fmt.Errorf("use -spec or -preset, not both")
+	case path != "":
+		var s sweep.Spec
+		if err := fsutil.ReadJSON(path, &s); err != nil {
+			return sweep.Spec{}, err
+		}
+		return s, nil
+	case preset == "smoke":
+		return SmokeSpec(), nil
+	case preset == "demo":
+		return DemoSpec(), nil
+	case preset == "":
+		return sweep.Spec{}, fmt.Errorf("need -spec FILE or -preset smoke|demo")
+	default:
+		return sweep.Spec{}, fmt.Errorf("unknown preset %q (want smoke or demo)", preset)
+	}
+}
+
+// SmokeSpec is the 2-point CI sweep: baseline vs complete-sharing over a
+// minimal fleet — enough to exercise the full engine path in seconds.
+func SmokeSpec() sweep.Spec {
+	return sweep.Spec{
+		Name: "smoke",
+		Fleet: fleet.Config{
+			Seed:           2022,
+			RacksPerRegion: 2,
+			ServersPerRack: 16,
+			Hours:          []int{6},
+			Buckets:        300,
+		},
+		Policies: []switchsim.Policy{switchsim.PolicyComplete},
+	}
+}
+
+// DemoSpec is the 14-point §9 grid: five DT alphas at two ECN thresholds
+// plus the static and complete-sharing disciplines, over a fleet just large
+// enough that the RegA top-contention quintile is populated (5 RegA racks ->
+// 1 RegA-High).
+func DemoSpec() sweep.Spec {
+	return sweep.Spec{
+		Name: "demo",
+		Fleet: fleet.Config{
+			Seed:           2022,
+			RacksPerRegion: 5,
+			ServersPerRack: 24,
+			Hours:          []int{6},
+			Buckets:        400,
+		},
+		Policies:      []switchsim.Policy{switchsim.PolicyDT, switchsim.PolicyStatic, switchsim.PolicyComplete},
+		Alphas:        []float64{0.5, 1, 2, 4, 8},
+		ECNThresholds: []int{0, 60 << 10},
+	}
+}
+
+func name(s sweep.Spec) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "sweep"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

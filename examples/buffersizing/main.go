@@ -3,63 +3,72 @@
 // regime: alpha matters most at low contention, and high-contention racks
 // trade per-queue space against stability.
 //
-// This example replays the same two workloads — a low-contention
-// incast-heavy rack and a high-contention ML rack — under a sweep of alpha
-// values and reports loss and ECN marking for each.
+// This example asks the what-if question with the sweep engine: it re-runs a
+// small fleet's busy hour under a grid of DT alphas plus the static and
+// complete-sharing extremes, and renders each point's loss, ECN, and peak
+// occupancy against the baseline — per contention class, so the low- and
+// high-contention answers can be compared directly. The steady-state theory
+// table (T = alpha*B/(1+alpha*S)) closes the loop on why the measured curves
+// bend where they do.
+//
+// By default the sweep runs in a throwaway directory; pass -o to keep a
+// resumable result directory instead (re-run with the same -o to reuse it).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/sim"
+	"repro/internal/fleet"
+	"repro/internal/sweep"
 	"repro/internal/switchsim"
-	"repro/internal/testbed"
-	"repro/internal/workload"
 )
 
-func runRack(alpha float64, ml bool) (discards, marked, enqueued int64) {
-	const servers = 16
-	swCfg := switchsim.DefaultConfig(servers)
-	swCfg.Alpha = alpha
-	rack := testbed.NewRack(testbed.RackConfig{
-		Servers: servers,
-		Seed:    2024,
-		Switch:  swCfg,
-	})
-	rng := rack.RNG.Fork(3)
-	for s := 0; s < servers; s++ {
-		var p workload.Profile
-		switch {
-		case ml:
-			p = workload.MLTrain
-		case s%4 == 0:
-			p = workload.Cache // incast-heavy
-		default:
-			p = workload.PickTypical(rng)
-		}
-		workload.Install(rack, s, p, rng.Fork(uint64(s)))
+// spec is the example's grid: five DT alphas bracketing the baseline plus
+// both sharing extremes, over a fleet small enough to sweep in seconds.
+func spec() sweep.Spec {
+	return sweep.Spec{
+		Name: "buffersizing",
+		Fleet: fleet.Config{
+			Seed:           2024,
+			RacksPerRegion: 2,
+			ServersPerRack: 16,
+			Hours:          []int{6},
+			Buckets:        300,
+		},
+		Policies: []switchsim.Policy{
+			switchsim.PolicyDT, switchsim.PolicyStatic, switchsim.PolicyComplete,
+		},
+		Alphas: []float64{0.25, 0.5, 1, 2, 4},
 	}
-	rack.Eng.RunUntil(2 * sim.Second)
-	t := rack.Switch.Totals()
-	return t.DiscardSegments, t.ECNMarkedSegs, t.EnqueuedSegments
 }
 
 func main() {
-	fmt.Println("DT alpha sweep over two 2-second rack workloads")
-	fmt.Println("(theory: T = alpha*B/(1+alpha*S); alpha matters most at low contention)")
-	fmt.Println()
-	fmt.Printf("%7s  %28s  %28s\n", "", "-- low-contention rack --", "-- high-contention (ML) --")
-	fmt.Printf("%7s  %9s %9s %8s  %9s %9s %8s\n",
-		"alpha", "discards", "marked", "loss%", "discards", "marked", "loss%")
-	for _, alpha := range []float64{0.25, 0.5, 1, 2, 4} {
-		d1, m1, e1 := runRack(alpha, false)
-		d2, m2, e2 := runRack(alpha, true)
-		fmt.Printf("%7.2f  %9d %9d %7.3f%%  %9d %9d %7.3f%%\n",
-			alpha,
-			d1, m1, 100*float64(d1)/float64(e1+1),
-			d2, m2, 100*float64(d2)/float64(e2+1))
+	out := flag.String("o", "", "keep a resumable sweep directory here (default: throwaway temp dir)")
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "buffersizing-*")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
 	}
+
+	fmt.Println("What-if: buffer-sharing counterfactuals over one busy hour")
 	fmt.Println()
+	res, err := sweep.Run(dir, spec(), sweep.Options{})
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range sweep.Report(res) {
+		r.Render(os.Stdout)
+		fmt.Println()
+	}
+
 	fmt.Println("theory shares per queue (fraction of the shared pool):")
 	fmt.Printf("%7s", "alpha")
 	for s := 1; s <= 8; s *= 2 {
@@ -73,4 +82,9 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "buffersizing:", err)
+	os.Exit(1)
 }

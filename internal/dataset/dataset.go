@@ -20,7 +20,6 @@
 package dataset
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -29,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/fleet"
+	"repro/internal/fsutil"
 )
 
 // FormatVersion is bumped on any incompatible change to the manifest or
@@ -133,13 +133,9 @@ func LooksSharded(path string) bool {
 
 // readManifest loads and sanity-checks a directory's manifest.
 func readManifest(dir string) (*Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
-	}
 	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("dataset: manifest %s: %w", dir, err)
+	if err := fsutil.ReadJSON(filepath.Join(dir, manifestName), &m); err != nil {
+		return nil, fmt.Errorf("dataset: manifest: %w", err)
 	}
 	if m.FormatVersion != FormatVersion {
 		return nil, fmt.Errorf("dataset: %s has format version %d, this build reads %d",
@@ -151,27 +147,8 @@ func readManifest(dir string) (*Manifest, error) {
 // writeManifest atomically replaces the manifest (temp file + rename), so an
 // interrupted update never leaves a torn manifest behind.
 func writeManifest(dir string, m *Manifest) error {
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
-	}
-	f, err := os.CreateTemp(dir, ".tmp-manifest-")
-	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
-	}
-	tmp := f.Name()
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("dataset: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("dataset: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("dataset: %w", err)
+	if err := fsutil.WriteJSONAtomic(dir, manifestName, m); err != nil {
+		return fmt.Errorf("dataset: manifest: %w", err)
 	}
 	return nil
 }

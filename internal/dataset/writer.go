@@ -10,10 +10,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 
 	"repro/internal/fleet"
+	"repro/internal/fsutil"
 )
 
 // Writer appends shards to a dataset directory. It is safe for concurrent
@@ -86,16 +86,8 @@ func Create(dir string, cfg fleet.Config) (*Writer, error) {
 // sweep removes stale temp files and demotes completed shards whose file is
 // missing or fails digest verification.
 func (w *Writer) sweep() error {
-	entries, err := os.ReadDir(w.dir)
-	if err != nil {
+	if err := fsutil.RemoveTempFiles(w.dir); err != nil {
 		return fmt.Errorf("dataset: %w", err)
-	}
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), ".tmp-") {
-			if err := os.Remove(filepath.Join(w.dir, e.Name())); err != nil {
-				return fmt.Errorf("dataset: %w", err)
-			}
-		}
 	}
 	for i := range w.man.Shards {
 		s := &w.man.Shards[i]
@@ -114,16 +106,11 @@ func (w *Writer) sweep() error {
 
 // verifyShardFile checks that a shard file hashes to the recorded digest.
 func verifyShardFile(path, digest string) error {
-	f, err := os.Open(path)
+	got, err := fsutil.FileSHA256(path)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorruptShard, err)
 	}
-	defer f.Close()
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		return fmt.Errorf("%w: %s: %v", ErrCorruptShard, path, err)
-	}
-	if got := hex.EncodeToString(h.Sum(nil)); got != digest {
+	if got != digest {
 		return fmt.Errorf("%w: %s digests %s, manifest records %s", ErrCorruptShard, path, got, digest)
 	}
 	return nil

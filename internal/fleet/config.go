@@ -71,6 +71,10 @@ type Config struct {
 	// KeepExamples retains the raw SyncRun of one low- and one
 	// high-contention run for the deep-dive figure.
 	KeepExamples bool
+	// Switch applies a counterfactual ToR configuration to every rack. The
+	// zero value keeps the production defaults and reproduces the measured
+	// fleet exactly; the sweep engine varies it per grid point.
+	Switch SwitchOverride
 }
 
 // DefaultConfig is the full-size generation used by cmd/fleetgen and the
@@ -133,6 +137,15 @@ func (c Config) Validate() error {
 	for _, h := range c.Hours {
 		if h < 0 || h > 23 {
 			return fmt.Errorf("fleet: hour %d outside [0,23]", h)
+		}
+	}
+	if !c.Switch.IsZero() {
+		ports := c.ServersPerRack
+		if ports <= 0 {
+			ports = DefaultConfig().ServersPerRack
+		}
+		if err := c.Switch.Validate(ports); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -9,8 +9,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/testbed"
-	"repro/internal/workload"
 )
 
 // warmup is how long traffic runs before the sampler window opens, letting
@@ -202,55 +200,14 @@ func (d *Dataset) RackRuns(region string, id int) ([]RunSummary, error) {
 
 // SimulateRun executes one rack-hour run and returns the aligned SyncRun
 // plus the switch counter delta. It is deterministic in (cfg, spec, hour),
-// which is how raw example runs are regenerated without storing them.
+// which is how raw example runs are regenerated without storing them. The
+// full-counter form (ECN marks, peaks) is SimulateRunFull.
 func SimulateRun(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchDelta, error) {
-	cfg = cfg.withDefaults()
-	rack := testbed.NewRack(testbed.RackConfig{
-		Servers: cfg.ServersPerRack,
-		Remotes: 4 * cfg.ServersPerRack,
-		Seed:    spec.Seed ^ (uint64(hour+1) * 0x9e3779b97f4a7c15),
-	})
-	scale := DiurnalFactor(hour) * spec.Intensity
-	profiles := make([]workload.Profile, len(spec.Profiles))
-	for i, p := range spec.Profiles {
-		profiles[i] = p.Scale(scale)
-	}
-	if _, err := workload.InstallRack(rack, profiles, rack.RNG.Fork(0x10AD)); err != nil {
-		return nil, SwitchDelta{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)
-	}
-
-	ctrl := core.NewController(rack, core.Config{
-		Interval: cfg.Interval, Buckets: cfg.Buckets, CountFlows: true,
-	})
-	if err := ctrl.Schedule(warmup); err != nil {
-		return nil, SwitchDelta{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)
-	}
-
-	var before, after SwitchDelta
-	rack.Eng.At(warmup, func() {
-		t := rack.Switch.Totals()
-		before = SwitchDelta{EnqueuedBytes: t.EnqueuedBytes, DiscardBytes: t.DiscardBytes, DiscardSegs: t.DiscardSegments}
-	})
-	rack.Eng.RunUntil(ctrl.HarvestAt(warmup) + sim.Millisecond)
-	t := rack.Switch.Totals()
-	after = SwitchDelta{EnqueuedBytes: t.EnqueuedBytes, DiscardBytes: t.DiscardBytes, DiscardSegs: t.DiscardSegments}
-	if !ctrl.Done() {
-		// Harvest RPCs are still retrying (lossy control plane or crashed
-		// hosts); let the straggler window play out. The switch delta was
-		// already captured at the nominal harvest point.
-		rack.Eng.RunUntil(ctrl.HarvestDeadline(warmup) + sim.Millisecond)
-	}
-
-	sr, err := ctrl.Result()
+	sr, sc, err := SimulateRunFull(cfg, spec, hour)
 	if err != nil {
-		return nil, SwitchDelta{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)
+		return nil, SwitchDelta{}, err
 	}
-	delta := SwitchDelta{
-		EnqueuedBytes: after.EnqueuedBytes - before.EnqueuedBytes,
-		DiscardBytes:  after.DiscardBytes - before.DiscardBytes,
-		DiscardSegs:   after.DiscardSegs - before.DiscardSegs,
-	}
-	return sr, delta, nil
+	return sr, sc.asDelta(), nil
 }
 
 // sat16 converts a non-negative count to int16, saturating at MaxInt16
@@ -340,6 +297,39 @@ func specMeta(spec *RackSpec) RackMeta {
 	}
 }
 
+// genVisitor adapts a RackSink to the raw visitor layer: it summarizes each
+// rack-hour into the compact dataset record and finishes the rack's metadata
+// at Done.
+type genVisitor struct {
+	spec *RackSpec
+	sink RackSink
+	meta RackMeta
+	runs []RunSummary
+}
+
+func (v *genVisitor) VisitRun(hour int, sr *core.SyncRun, sc SwitchCounters, simErr error) error {
+	var run RunSummary
+	if simErr != nil {
+		// A failed rack-hour is recorded, not fatal: the rest of the day's
+		// schedule proceeds and the dataset keeps the gap.
+		run = RunSummary{
+			Region:     v.spec.Region,
+			RackID:     v.spec.ID,
+			Hour:       hour,
+			FailReason: simErr.Error(),
+		}
+	} else {
+		run = summarize(*v.spec, hour, sr, sc.asDelta())
+	}
+	v.runs = append(v.runs, run)
+	return v.sink.Run(run)
+}
+
+func (v *genVisitor) Done() error {
+	v.meta.BusyAvgContention = busyContention(v.runs)
+	return v.sink.Commit(v.meta)
+}
+
 // GenerateStream simulates the full schedule rack by rack, streaming each
 // completed rack-hour into the rack's sink as it finishes. Racks are
 // distributed over cfg.Workers long-lived workers, so peak memory per worker
@@ -350,105 +340,25 @@ func specMeta(spec *RackSpec) RackMeta {
 // recorded in the run, not fatal).
 func GenerateStream(cfg Config, opts StreamOpts) error {
 	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
 	if opts.Begin == nil {
 		return fmt.Errorf("fleet: GenerateStream needs a Begin hook")
 	}
-	racks := BuildRacks(cfg)
-
-	var todo []int
-	for i := range racks {
-		if opts.Skip != nil && opts.Skip(racks[i].Region, racks[i].ID) {
-			continue
-		}
-		todo = append(todo, i)
-	}
-
-	workers := cfg.Workers
-	if workers > len(todo) {
-		workers = len(todo)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	setErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	aborted := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-
-	idxc := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ri := range idxc {
-				if aborted() {
-					continue
-				}
-				spec := &racks[ri]
-				meta := specMeta(spec)
-				sink, err := opts.Begin(meta)
-				if err != nil {
-					setErr(err)
-					continue
-				}
-				runs := make([]RunSummary, 0, len(cfg.Hours))
-				failed := false
-				for _, h := range cfg.Hours {
-					var run RunSummary
-					sr, delta, err := SimulateRun(cfg, *spec, h)
-					if err != nil {
-						// A failed rack-hour is recorded, not fatal: the rest
-						// of the day's schedule proceeds and the dataset
-						// keeps the gap.
-						run = RunSummary{
-							Region:     spec.Region,
-							RackID:     spec.ID,
-							Hour:       h,
-							FailReason: err.Error(),
-						}
-					} else {
-						run = summarize(*spec, h, sr, delta)
-					}
-					runs = append(runs, run)
-					if err := sink.Run(run); err != nil {
-						setErr(err)
-						failed = true
-						break
-					}
-				}
-				if failed {
-					continue
-				}
-				meta.BusyAvgContention = busyContention(runs)
-				if err := sink.Commit(meta); err != nil {
-					setErr(err)
-				}
+	return VisitStream(cfg, VisitOpts{
+		Skip: opts.Skip,
+		Start: func(spec *RackSpec) (RackVisitor, error) {
+			meta := specMeta(spec)
+			sink, err := opts.Begin(meta)
+			if err != nil {
+				return nil, err
 			}
-		}()
-	}
-	for _, ri := range todo {
-		idxc <- ri
-	}
-	close(idxc)
-	wg.Wait()
-	return firstErr
+			return &genVisitor{
+				spec: spec,
+				sink: sink,
+				meta: meta,
+				runs: make([]RunSummary, 0, len(cfg.Hours)),
+			}, nil
+		},
+	})
 }
 
 // memSink collects one rack's results into a pre-assigned slot, so assembly

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/switchsim"
+)
+
+// SwitchOverride selects the counterfactual ToR knobs a generation applies to
+// every rack — the axis the what-if sweep engine drives. Zero fields keep the
+// production-mirroring defaults (dynamic thresholds, alpha 1, 16 MB buffer,
+// 120 KB ECN threshold), so the zero override reproduces the measured fleet
+// byte for byte.
+type SwitchOverride struct {
+	// Policy selects the shared-buffer admission discipline. The zero value
+	// is PolicyDT, the production policy.
+	Policy switchsim.Policy `json:"policy,omitempty"`
+	// Alpha overrides the DT parameter (0 keeps the default 1).
+	Alpha float64 `json:"alpha,omitempty"`
+	// ECNThreshold overrides the static per-queue marking threshold in bytes
+	// (0 keeps the default 120 KB).
+	ECNThreshold int `json:"ecn_threshold,omitempty"`
+	// TotalBuffer overrides the packet buffer size in bytes (0 keeps 16 MB).
+	TotalBuffer int `json:"total_buffer,omitempty"`
+	// DedicatedPerQueue overrides each queue's reserve outside the shared
+	// pool (0 keeps the derived default).
+	DedicatedPerQueue int `json:"dedicated_per_queue,omitempty"`
+}
+
+// IsZero reports whether the override changes nothing. Generation only
+// routes through the override path for non-zero overrides, so baseline
+// datasets keep their historical digests.
+func (o SwitchOverride) IsZero() bool { return o == SwitchOverride{} }
+
+// Apply folds the override into a concrete switch configuration.
+func (o SwitchOverride) Apply(base switchsim.Config) switchsim.Config {
+	base.Policy = o.Policy
+	if o.Alpha != 0 {
+		base.Alpha = o.Alpha
+	}
+	if o.ECNThreshold != 0 {
+		base.ECNThreshold = o.ECNThreshold
+	}
+	if o.TotalBuffer != 0 {
+		base.TotalBuffer = o.TotalBuffer
+	}
+	if o.DedicatedPerQueue != 0 {
+		base.DedicatedPerQueue = o.DedicatedPerQueue
+	}
+	return base
+}
+
+// Validate checks the override against the production defaults for a rack
+// with the given port count, so a sweep grid rejects impossible points before
+// any rack-hour is simulated.
+func (o SwitchOverride) Validate(ports int) error {
+	if o.IsZero() {
+		return nil
+	}
+	if err := o.Apply(switchsim.DefaultConfig(ports)).Validate(); err != nil {
+		return fmt.Errorf("fleet: switch override: %w", err)
+	}
+	return nil
+}
+
+// String renders the override compactly for progress lines and point labels.
+func (o SwitchOverride) String() string {
+	if o.IsZero() {
+		return "baseline"
+	}
+	s := o.Policy.String()
+	if o.Policy == switchsim.PolicyDT {
+		a := o.Alpha
+		if a == 0 {
+			a = 1
+		}
+		s = fmt.Sprintf("dt a=%g", a)
+	}
+	if o.ECNThreshold != 0 {
+		s += fmt.Sprintf(" ecn=%dK", o.ECNThreshold>>10)
+	}
+	if o.TotalBuffer != 0 {
+		s += fmt.Sprintf(" buf=%dM", o.TotalBuffer>>20)
+	}
+	if o.DedicatedPerQueue != 0 {
+		s += fmt.Sprintf(" ded=%dK", o.DedicatedPerQueue>>10)
+	}
+	return s
+}

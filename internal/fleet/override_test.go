@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/switchsim"
+)
+
+func TestSwitchOverrideApply(t *testing.T) {
+	base := switchsim.DefaultConfig(48)
+	if got := (SwitchOverride{}).Apply(base); got != base {
+		t.Errorf("zero override changed the config: %+v", got)
+	}
+	o := SwitchOverride{Policy: switchsim.PolicyStatic, Alpha: 2, ECNThreshold: 60 << 10}
+	got := o.Apply(base)
+	if got.Policy != switchsim.PolicyStatic || got.Alpha != 2 || got.ECNThreshold != 60<<10 {
+		t.Errorf("override not applied: %+v", got)
+	}
+	if got.TotalBuffer != base.TotalBuffer || got.DownlinkRateBps != base.DownlinkRateBps {
+		t.Errorf("unset fields drifted: %+v", got)
+	}
+}
+
+func TestConfigValidateChecksOverride(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Switch = SwitchOverride{Policy: switchsim.Policy(9)}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "unknown sharing policy") {
+		t.Errorf("unknown policy not rejected: %v", err)
+	}
+	cfg.Switch = SwitchOverride{Alpha: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative alpha not rejected")
+	}
+	cfg.Switch = SwitchOverride{ECNThreshold: 1 << 30}
+	if err := cfg.Validate(); err == nil {
+		t.Error("out-of-buffer ECN threshold not rejected")
+	}
+	cfg.Switch = SwitchOverride{Policy: switchsim.PolicyComplete, ECNThreshold: 60 << 10}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid override rejected: %v", err)
+	}
+}
+
+func TestSwitchOverrideJSONRoundTrip(t *testing.T) {
+	o := SwitchOverride{Policy: switchsim.PolicyStatic, Alpha: 0.5, TotalBuffer: 8 << 20}
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SwitchOverride
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != o {
+		t.Errorf("round trip: %+v != %+v", back, o)
+	}
+	// The zero override (the baseline point) must encode to an empty object
+	// so sweep manifests stay minimal and stable.
+	b, _ = json.Marshal(SwitchOverride{})
+	if string(b) != "{}" {
+		t.Errorf("zero override encodes to %s", b)
+	}
+}
+
+func TestSwitchOverrideString(t *testing.T) {
+	if s := (SwitchOverride{}).String(); s != "baseline" {
+		t.Errorf("zero override String() = %q", s)
+	}
+	o := SwitchOverride{Alpha: 2, ECNThreshold: 60 << 10}
+	if s := o.String(); !strings.Contains(s, "a=2") || !strings.Contains(s, "ecn=60K") {
+		t.Errorf("String() = %q", s)
+	}
+}

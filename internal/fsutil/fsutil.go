@@ -1,0 +1,93 @@
+// Package fsutil holds the small filesystem primitives the resumable stores
+// share: atomic JSON replacement, whole-file digests, and stale temp-file
+// cleanup. The sharded dataset and the sweep point store both build their
+// crash-safety on these — a killed process leaves at worst a .tmp- file that
+// the next invocation sweeps away, never a torn manifest under a final name.
+package fsutil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TempPrefix marks in-progress files; RemoveTempFiles reclaims them.
+const TempPrefix = ".tmp-"
+
+// WriteJSONAtomic marshals v (indented, trailing newline) and atomically
+// replaces dir/name via a temp file and rename, so an interrupted update
+// never leaves a torn file behind.
+func WriteJSONAtomic(dir, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	f, err := os.CreateTemp(dir, TempPrefix+name+"-")
+	if err != nil {
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON unmarshals one JSON file into v.
+func ReadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("fsutil: %s: %w", path, err)
+	}
+	return nil
+}
+
+// FileSHA256 returns the hex sha256 of a file's bytes — the digest form
+// recorded in manifests and verified on every resume and read.
+func FileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("fsutil: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("fsutil: %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// RemoveTempFiles deletes stale TempPrefix files left in dir by a killed
+// process.
+func RemoveTempFiles(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("fsutil: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package fsutil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteJSONAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	type doc struct{ A, B int }
+	want := doc{A: 1, B: 2}
+	if err := WriteJSONAtomic(dir, "m.json", want); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := ReadJSON(filepath.Join(dir, "m.json"), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: %+v != %+v", got, want)
+	}
+	// Replacing must not leave temp droppings.
+	if err := WriteJSONAtomic(dir, "m.json", doc{A: 3}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries after replace, want 1", len(entries))
+	}
+}
+
+func TestFileSHA256(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	body := []byte("contention")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(body)
+	got, err := FileSHA256(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("FileSHA256 = %s, want %s", got, want)
+	}
+	if _, err := FileSHA256(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestRemoveTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "keep.json")
+	stale := filepath.Join(dir, TempPrefix+"m.json-123")
+	os.WriteFile(keep, []byte("{}"), 0o644)
+	os.WriteFile(stale, []byte("{"), 0o644)
+	if err := RemoveTempFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Error("non-temp file removed")
+	}
+}

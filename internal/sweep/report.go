@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/switchsim"
+)
+
+// Report renders a completed sweep as experiment results: the full what-if
+// grid with per-point deltas against the baseline, and the loss-vs-alpha
+// view per contention class — the paper's §9 question ("would a different
+// alpha have helped this rack class?") answered from simulation.
+func Report(res *Result) []*experiments.Result {
+	return []*experiments.Result{gridResult(res), alphaResult(res)}
+}
+
+// gridResult is the per-point table: every counterfactual next to the
+// baseline with loss, ECN, burst, and peak-occupancy deltas.
+func gridResult(res *Result) *experiments.Result {
+	base := res.Baseline().Total
+	r := &experiments.Result{
+		ID:    "whatif-grid",
+		Title: "What-if grid: buffer-sharing counterfactuals vs baseline (§9)",
+		Header: []string{"point", "config", "loss%", "Δloss(pp)", "ecn-mark%",
+			"lossy-burst%", "trunc-burst%", "peak-queue(KB)"},
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		t := p.Total
+		r.AddRow(
+			fmt.Sprintf("%d", p.Index),
+			p.Label,
+			fmt.Sprintf("%.3f", t.LossPct()),
+			fmt.Sprintf("%+.3f", t.LossPct()-base.LossPct()),
+			fmt.Sprintf("%.2f", t.ECNPct()),
+			fmt.Sprintf("%.1f", t.LossyBurstPct()),
+			fmt.Sprintf("%.1f", t.TruncatedBurstPct()),
+			fmt.Sprintf("%d", t.PeakQueueBytes>>10),
+		)
+	}
+	r.Notef("baseline is point 0 (%s): the production configuration the measured fleet ran", res.Baseline().Label)
+	r.Notef("peak-queue compares burst absorption headroom; under overload complete-sharing ≥ DT ≥ static-partition")
+	if f := res.Points[0].Total.FailedRuns; f > 0 {
+		r.Notef("%d rack-hour(s) failed to simulate per point and are excluded from the statistics", f)
+	}
+	return r
+}
+
+// alphaResult is the loss-vs-alpha table per baseline contention class: DT
+// points with default buffer/ECN, one row per alpha, one column pair per
+// class.
+func alphaResult(res *Result) *experiments.Result {
+	classes := classNames(res)
+	header := []string{"alpha"}
+	for _, c := range classes {
+		header = append(header, c+" loss%", c+" Δ(pp)")
+	}
+	r := &experiments.Result{
+		ID:     "whatif-alpha",
+		Title:  "Loss vs DT alpha per contention class (§9)",
+		Header: header,
+	}
+
+	baseByClass := res.Baseline().Classes
+	var pts []Point
+	for i := range res.Points {
+		pts = append(pts, res.Points[i].Point)
+	}
+	for _, a := range DTAlphas(pts) {
+		p := findDTPoint(res, a)
+		if p == nil {
+			continue
+		}
+		row := []string{fmt.Sprintf("%g", a)}
+		for _, c := range classes {
+			t := p.Classes[c]
+			row = append(row,
+				fmt.Sprintf("%.3f", t.LossPct()),
+				fmt.Sprintf("%+.3f", t.LossPct()-baseByClass[c].LossPct()))
+		}
+		r.AddRow(row...)
+	}
+	r.Notef("classes are fixed by the baseline's busy-hour contention, so every alpha compares the same racks")
+	r.Notef("paper §9: high-contention racks lose DT share to neighbors — the best alpha depends on the contention regime")
+	return r
+}
+
+// classNames lists the classes seen in the baseline, in fleet.Class order.
+func classNames(res *Result) []string {
+	order := map[string]int{
+		fleet.ClassATypical.String(): 0,
+		fleet.ClassAHigh.String():    1,
+		fleet.ClassB.String():        2,
+	}
+	var out []string
+	for c := range res.Baseline().Classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool { return order[out[a]] < order[out[b]] })
+	return out
+}
+
+// findDTPoint locates the default-knob DT point with the given alpha; the
+// baseline stands in for alpha 1.
+func findDTPoint(res *Result, alpha float64) *PointResult {
+	for i := range res.Points {
+		o := res.Points[i].Override
+		if o.Policy != switchsim.PolicyDT || o.ECNThreshold != 0 || o.TotalBuffer != 0 || o.DedicatedPerQueue != 0 {
+			continue
+		}
+		a := o.Alpha
+		if a == 0 {
+			a = 1
+		}
+		if a == alpha {
+			return &res.Points[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/fsutil"
+)
+
+// manifestName is the manifest file within a sweep result directory.
+const manifestName = "sweep.json"
+
+// pointFileName returns the canonical result file name for a grid point.
+func pointFileName(index int) string { return fmt.Sprintf("point-%03d.json", index) }
+
+// rackKey identifies a rack in the Classes map.
+func rackKey(region string, id int) string { return fmt.Sprintf("%s/%d", region, id) }
+
+// Manifest is the result directory's table of contents. Like the dataset
+// manifest it is atomically replaced on every update, so a killed sweep
+// leaves either the pre- or post-commit state, never a torn file.
+type Manifest struct {
+	FormatVersion int
+	// Name echoes the spec's label.
+	Name string `json:",omitempty"`
+	// Fleet is the normalized base generation configuration (defaults
+	// resolved, Workers cleared — scheduling never affects results).
+	Fleet fleet.Config
+	// Points lists the expanded grid in index order, present from the moment
+	// the directory is created so progress is always done/total.
+	Points []PointEntry
+	// Classes maps rack keys ("RegA/3") to baseline contention-class names,
+	// recorded atomically with the baseline point's commit; every
+	// counterfactual point aggregates by these same classes.
+	Classes map[string]string `json:",omitempty"`
+	// Complete is set by Finalize once every point is committed.
+	Complete bool
+	// ResultDigest is the sha256 over all point digests in index order — the
+	// one-line fingerprint two sweeps can be compared by.
+	ResultDigest string `json:",omitempty"`
+}
+
+// PointEntry tracks one grid point's execution state.
+type PointEntry struct {
+	Point
+	// File is the point result's name within the directory.
+	File string
+	// Digest is the sha256 hex of the point file's bytes; resume and read
+	// paths verify it before trusting the result.
+	Digest string `json:",omitempty"`
+	Complete bool
+}
+
+// Store manages a (resumable) sweep result directory. It is safe for
+// concurrent point commits; manifest updates are serialized internally.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	man *Manifest
+}
+
+// Create opens dir for (resumed) execution of spec. A fresh directory gets a
+// manifest listing every expanded point; an existing one is validated — the
+// stored fleet config, seed, and point grid must match the spec's, completed
+// points are digest-verified (corrupt or missing ones are demoted to pending
+// so they re-run), and stale temp files are removed. A mismatch returns
+// ErrSpecMismatch rather than mixing points from different sweeps.
+func Create(dir string, spec Spec) (*Store, error) {
+	pts, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	norm := normalizeFleet(spec.Fleet)
+
+	var man *Manifest
+	if IsDir(dir) {
+		man, err = readManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := matchSpec(man, norm, pts); err != nil {
+			return nil, err
+		}
+	} else {
+		man = &Manifest{FormatVersion: FormatVersion, Name: spec.Name, Fleet: norm}
+		for _, p := range pts {
+			man.Points = append(man.Points, PointEntry{Point: p, File: pointFileName(p.Index)})
+		}
+	}
+
+	st := &Store{dir: dir, man: man}
+	if err := st.sweepDir(); err != nil {
+		return nil, err
+	}
+	// A resumed directory is no longer complete until Finalize runs again
+	// (it may have just demoted corrupt points).
+	st.man.Complete = st.man.Complete && st.pendingLocked() == 0
+	if err := st.writeManifest(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// matchSpec refuses to resume over a directory started from a different
+// spec: the fleet config (seed included) and the expanded grid must agree.
+func matchSpec(man *Manifest, norm fleet.Config, pts []Point) error {
+	if !reflect.DeepEqual(man.Fleet, norm) {
+		return fmt.Errorf("%w: directory was started with seed %d / %d racks x %d servers x %d hours x %d buckets; spec has seed %d / %d racks x %d servers x %d hours x %d buckets",
+			ErrSpecMismatch,
+			man.Fleet.Seed, man.Fleet.RacksPerRegion, man.Fleet.ServersPerRack, len(man.Fleet.Hours), man.Fleet.Buckets,
+			norm.Seed, norm.RacksPerRegion, norm.ServersPerRack, len(norm.Hours), norm.Buckets)
+	}
+	if len(man.Points) != len(pts) {
+		return fmt.Errorf("%w: directory has %d grid points, spec expands to %d",
+			ErrSpecMismatch, len(man.Points), len(pts))
+	}
+	for i := range pts {
+		if man.Points[i].Point != pts[i] {
+			return fmt.Errorf("%w: point %d is %s in the directory but %s in the spec",
+				ErrSpecMismatch, i, man.Points[i].Label, pts[i].Label)
+		}
+	}
+	return nil
+}
+
+// sweepDir removes stale temp files and demotes completed points whose file
+// is missing or fails digest verification.
+func (st *Store) sweepDir() error {
+	if err := fsutil.RemoveTempFiles(st.dir); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	for i := range st.man.Points {
+		p := &st.man.Points[i]
+		if !p.Complete {
+			continue
+		}
+		if err := verifyPointFile(filepath.Join(st.dir, p.File), p.Digest); err != nil {
+			// Re-run rather than trust it; the point regenerates
+			// deterministically.
+			os.Remove(filepath.Join(st.dir, p.File))
+			p.Digest = ""
+			p.Complete = false
+		}
+	}
+	return nil
+}
+
+// verifyPointFile checks that a point file hashes to the recorded digest.
+func verifyPointFile(path, digest string) error {
+	got, err := fsutil.FileSHA256(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptPoint, err)
+	}
+	if got != digest {
+		return fmt.Errorf("%w: %s digests %s, manifest records %s", ErrCorruptPoint, path, got, digest)
+	}
+	return nil
+}
+
+// Done reports whether a point is already committed.
+func (st *Store) Done(index int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return index < len(st.man.Points) && st.man.Points[index].Complete
+}
+
+// Pending returns the indices of uncommitted points in grid order.
+func (st *Store) Pending() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []int
+	for i := range st.man.Points {
+		if !st.man.Points[i].Complete {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Progress returns committed and total point counts.
+func (st *Store) Progress() (done, total int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.man.Points) - st.pendingLocked(), len(st.man.Points)
+}
+
+func (st *Store) pendingLocked() int {
+	n := 0
+	for i := range st.man.Points {
+		if !st.man.Points[i].Complete {
+			n++
+		}
+	}
+	return n
+}
+
+// Classes returns the baseline classification, or nil while the baseline
+// point is pending.
+func (st *Store) Classes() map[string]string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.man.Classes
+}
+
+// Points returns a copy of the grid entries.
+func (st *Store) Points() []PointEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]PointEntry(nil), st.man.Points...)
+}
+
+// CommitPoint writes a point's result file (temp + rename) and marks it
+// complete in the manifest with its digest. classes, non-nil only for the
+// baseline point, is recorded in the same manifest update, so a crash can
+// never leave a committed baseline without its classification.
+func (st *Store) CommitPoint(pr *PointResult, classes map[string]string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pr.Index < 0 || pr.Index >= len(st.man.Points) {
+		return fmt.Errorf("sweep: point %d not in manifest", pr.Index)
+	}
+	entry := &st.man.Points[pr.Index]
+	if err := fsutil.WriteJSONAtomic(st.dir, entry.File, pr); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	digest, err := fsutil.FileSHA256(filepath.Join(st.dir, entry.File))
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	entry.Digest = digest
+	entry.Complete = true
+	if classes != nil {
+		st.man.Classes = classes
+	}
+	return st.writeManifest()
+}
+
+// Finalize seals the sweep: it refuses while points are pending, then
+// records the result digest and marks the manifest complete.
+func (st *Store) Finalize() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n := st.pendingLocked(); n > 0 {
+		return fmt.Errorf("%w: %d of %d points pending", ErrIncomplete, n, len(st.man.Points))
+	}
+	h := sha256.New()
+	for i := range st.man.Points {
+		fmt.Fprintf(h, "%03d:%s\n", st.man.Points[i].Index, st.man.Points[i].Digest)
+	}
+	st.man.ResultDigest = hex.EncodeToString(h.Sum(nil))
+	st.man.Complete = true
+	return st.writeManifest()
+}
+
+func (st *Store) writeManifest() error {
+	if err := fsutil.WriteJSONAtomic(st.dir, manifestName, st.man); err != nil {
+		return fmt.Errorf("sweep: manifest: %w", err)
+	}
+	return nil
+}
+
+// IsDir reports whether path holds a sweep result directory (a sweep.json).
+func IsDir(path string) bool {
+	fi, err := os.Stat(filepath.Join(path, manifestName))
+	return err == nil && fi.Mode().IsRegular()
+}
+
+// readManifest loads and sanity-checks a directory's manifest.
+func readManifest(dir string) (*Manifest, error) {
+	var m Manifest
+	if err := fsutil.ReadJSON(filepath.Join(dir, manifestName), &m); err != nil {
+		return nil, fmt.Errorf("sweep: manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("sweep: %s has format version %d, this build reads %d",
+			dir, m.FormatVersion, FormatVersion)
+	}
+	return &m, nil
+}
+
+// Result is a completed sweep loaded back from disk.
+type Result struct {
+	Dir      string
+	Manifest *Manifest
+	// Points holds every point's result in grid order; Points[0] is the
+	// baseline.
+	Points []PointResult
+}
+
+// Baseline returns the comparison anchor (point 0).
+func (r *Result) Baseline() *PointResult { return &r.Points[0] }
+
+// Open loads a completed sweep, verifying every point file against its
+// recorded digest. An unfinished sweep returns ErrIncomplete — re-run
+// cmd/sweep with the same spec to resume it.
+func Open(dir string) (*Result, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !man.Complete {
+		done := 0
+		for i := range man.Points {
+			if man.Points[i].Complete {
+				done++
+			}
+		}
+		return nil, fmt.Errorf("%w: %s has %d of %d points", ErrIncomplete, dir, done, len(man.Points))
+	}
+	res := &Result{Dir: dir, Manifest: man, Points: make([]PointResult, len(man.Points))}
+	for i := range man.Points {
+		path := filepath.Join(dir, man.Points[i].File)
+		if err := verifyPointFile(path, man.Points[i].Digest); err != nil {
+			return nil, err
+		}
+		if err := fsutil.ReadJSON(path, &res.Points[i]); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	return res, nil
+}

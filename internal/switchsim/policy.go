@@ -1,0 +1,45 @@
+package switchsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Known reports whether p is one of the defined sharing policies. Validate
+// rejects unknown values so a config-driven sweep fails fast instead of
+// silently falling back to a default discipline mid-grid.
+func (p Policy) Known() bool { return p >= PolicyDT && p <= PolicyComplete }
+
+// ParsePolicy resolves a policy name as it appears in sweep specs and CLI
+// flags. Both the short forms ("dt", "static", "complete") and the full
+// String() names are accepted, case-insensitively.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "dt", "dynamic-threshold":
+		return PolicyDT, nil
+	case "static", "static-partition":
+		return PolicyStatic, nil
+	case "complete", "complete-sharing":
+		return PolicyComplete, nil
+	}
+	return 0, fmt.Errorf("switchsim: unknown policy %q (want dt, static, or complete)", s)
+}
+
+// MarshalText encodes the policy by name, so JSON sweep specs and dataset
+// manifests stay readable and stable if the iota order ever changes.
+func (p Policy) MarshalText() ([]byte, error) {
+	if !p.Known() {
+		return nil, fmt.Errorf("switchsim: cannot encode unknown policy %d", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText accepts anything ParsePolicy does.
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}

@@ -3,6 +3,7 @@ package switchsim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -32,8 +33,10 @@ func (p Policy) String() string {
 		return "dynamic-threshold"
 	case PolicyStatic:
 		return "static-partition"
-	default:
+	case PolicyComplete:
 		return "complete-sharing"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
 	}
 }
 
@@ -173,13 +176,31 @@ func (c Config) withDefaults() Config {
 }
 
 // Validate reports whether the configuration (after defaults) can build a
-// working switch. Config-driven tools should call it before New, which
-// treats an invalid configuration as an invariant violation.
+// working switch. Config-driven tools — sweep specs above all — should call
+// it before New, which treats an invalid configuration as an invariant
+// violation. Policy, Alpha, and the ECN threshold are checked here so a
+// counterfactual grid fails fast at spec expansion instead of panicking
+// mid-sweep.
 func (c Config) Validate() error {
 	if c.Ports <= 0 {
 		return errors.New("switchsim: switch needs at least one port")
 	}
+	if !c.Policy.Known() {
+		return fmt.Errorf("switchsim: unknown sharing policy %d", int(c.Policy))
+	}
+	if math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) || c.Alpha < 0 {
+		return fmt.Errorf("switchsim: Alpha %v is not a usable DT parameter", c.Alpha)
+	}
 	c = c.withDefaults()
+	// Zero Alpha means "use the default 1"; an explicit non-positive value
+	// under dynamic thresholds would admit nothing into the shared pool.
+	if c.Policy == PolicyDT && !(c.Alpha > 0) {
+		return fmt.Errorf("switchsim: dynamic-threshold needs Alpha > 0, have %v", c.Alpha)
+	}
+	if c.ECNThreshold < 0 || c.ECNThreshold > c.TotalBuffer {
+		return fmt.Errorf("switchsim: ECN threshold %d outside the %d-byte buffer",
+			c.ECNThreshold, c.TotalBuffer)
+	}
 	quadSize := c.TotalBuffer / c.Quadrants
 	queuesPerQuad := (c.Ports + c.Quadrants - 1) / c.Quadrants
 	if sharedCap := quadSize - c.DedicatedPerQueue*queuesPerQuad; sharedCap <= 0 {
@@ -426,6 +447,19 @@ func (s *Switch) ActiveQueues(quadrant int) int {
 		}
 	}
 	return n
+}
+
+// PeakQueueBytes returns the highest occupancy any single egress queue
+// reached — the burst-absorption headroom figure the sharing-policy
+// counterfactuals compare (complete ≥ DT ≥ static under overload).
+func (s *Switch) PeakQueueBytes() int {
+	peak := 0
+	for _, q := range s.queues {
+		if q.stats.PeakBytes > peak {
+			peak = q.stats.PeakBytes
+		}
+	}
+	return peak
 }
 
 // Totals sums the per-queue stats switch-wide.

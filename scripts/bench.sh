@@ -1,13 +1,17 @@
 #!/bin/sh
 # bench.sh is the benchmark regression gate behind `make bench`: it runs the
-# §4.3 microbenchmarks and the per-figure regeneration benchmarks on the
-# small preset, measures small-preset fleet generation wall time plus its
-# determinism digest, and compares the result against the committed
-# BENCH_PR2.json. A regression beyond the tolerance (or any digest drift)
-# fails the script; on success the new numbers replace the committed file.
+# §4.3 microbenchmarks and the per-figure/sweep regeneration benchmarks on
+# the small preset, measures small-preset fleet generation wall time plus its
+# determinism digest, and compares the result against a baseline. Fresh
+# numbers land in BENCH.json; the committed BENCH_PR2.json is the baseline
+# used when no local BENCH.json exists yet, so successive local runs gate
+# against each other while a clean checkout gates against the recorded
+# numbers. A regression beyond the tolerance (or any digest drift) fails the
+# script; on success the new numbers replace the result file.
 #
 # Environment knobs:
-#   BENCH_FILE       result file (default BENCH_PR2.json)
+#   BENCH_FILE       result file (default BENCH.json)
+#   BENCH_BASELINE   baseline when no result file exists (default BENCH_PR2.json)
 #   BENCH_TOLERANCE  allowed fractional regression in ns/op and wall time
 #                    (default 0.50 — the figure benchmarks run few iterations
 #                    and shared boxes are noisy; allocs/op regressions from
@@ -17,15 +21,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_FILE:-BENCH_PR2.json}
+OUT=${BENCH_FILE:-BENCH.json}
+BASE=${BENCH_BASELINE:-BENCH_PR2.json}
 TOL=${BENCH_TOLERANCE:-0.50}
 NEW="$OUT.new"
 
+GATE="$OUT"
+if [ ! -f "$GATE" ]; then
+    GATE="$BASE"
+fi
+
 go run ./cmd/benchgate run -out "$NEW"
 
-if [ -f "$OUT" ] && [ "${BENCH_SKIP_GATE:-0}" != "1" ]; then
-    go run ./cmd/benchgate compare -old "$OUT" -new "$NEW" -tol "$TOL"
+if [ -f "$GATE" ] && [ "${BENCH_SKIP_GATE:-0}" != "1" ]; then
+    go run ./cmd/benchgate compare -old "$GATE" -new "$NEW" -tol "$TOL"
 fi
 
 mv "$NEW" "$OUT"
-echo "bench: results recorded in $OUT"
+echo "bench: results recorded in $OUT (gated against $GATE)"
