@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet race bench distrib-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,9 @@ check:
 # bench runs the benchmark regression gate and refreshes BENCH_PR2.json.
 bench:
 	./scripts/bench.sh
+
+# distrib-smoke runs the coordinator + 2 workers end-to-end kill test:
+# real binaries, real HTTP, one worker SIGKILLed mid-run, digest compared
+# against a single-process golden.
+distrib-smoke:
+	./scripts/distrib_smoke.sh

@@ -10,6 +10,7 @@ package repro
 // for the full-size regeneration reported in EXPERIMENTS.md).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -112,7 +113,7 @@ func BenchmarkSweepSmoke(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := sweep.Run(dir, spec, sweep.Options{})
+		res, err := sweep.Run(context.Background(), dir, spec, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,95 @@
+// Command coordinator serves distributed generation: it owns a resumable
+// result directory (sharded dataset or sweep) and leases its work units to
+// workers over HTTP/JSON (see internal/distrib).
+//
+// It starts idle; a job arrives either from the -job flags below or from a
+// client (`fleetgen -distributed` / `sweep -distributed` submit one and poll
+// for completion). Killing the coordinator loses nothing — restart it over
+// the same directory and only the uncommitted units are re-leased. SIGTERM
+// drains gracefully: no new leases, in-flight uploads still land.
+//
+// Usage:
+//
+//	coordinator -listen :9009                       # wait for a submitted job
+//	coordinator -listen :9009 -once                 # exit once the job completes
+//	coordinator -listen :9009 -lease-ttl 30s -straggler 10m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/distrib"
+)
+
+func main() {
+	listen := flag.String("listen", ":9009", "address to serve the coordinator RPC surface on")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "heartbeat budget before a lease expires and its unit is reassigned")
+	straggler := flag.Duration("straggler", 0, "cap on one grant's total lifetime regardless of heartbeats (default 20x lease TTL)")
+	once := flag.Bool("once", false, "exit with status 0 when the job completes (for scripted runs)")
+	flag.Parse()
+
+	coord := distrib.NewCoordinator(distrib.CoordinatorConfig{
+		LeaseTTL:          *leaseTTL,
+		StragglerDeadline: *straggler,
+	})
+	srv := &http.Server{Addr: *listen, Handler: coord.Handler()}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go coord.RunExpiry(ctx, *leaseTTL/4)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "coordinator: listening on %s (lease ttl %v)\n", *listen, *leaseTTL)
+
+	progress := time.NewTicker(5 * time.Second)
+	defer progress.Stop()
+	lastDone := -1
+	for {
+		select {
+		case <-ctx.Done():
+			// Drain: stop granting leases, let in-flight uploads land, then
+			// stop serving.
+			fmt.Fprintln(os.Stderr, "coordinator: draining (no new leases)")
+			coord.Drain()
+			shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer shCancel()
+			srv.Shutdown(shCtx)
+			return
+		case err := <-errc:
+			if !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "coordinator:", err)
+				os.Exit(1)
+			}
+			return
+		case <-coord.Done():
+			st := coord.Status()
+			fmt.Fprintf(os.Stderr, "coordinator: job complete: %d/%d units, fingerprint %s\n",
+				st.Done, st.Total, st.Fingerprint)
+			if *once {
+				shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer shCancel()
+				srv.Shutdown(shCtx)
+				return
+			}
+			// Keep serving status (and Done leases) for late workers.
+			<-ctx.Done()
+			srv.Close()
+			return
+		case <-progress.C:
+			st := coord.Status()
+			if st.HasJob && st.Done != lastDone {
+				lastDone = st.Done
+				fmt.Fprintf(os.Stderr, "coordinator: %d/%d units committed\n", st.Done, st.Total)
+			}
+		}
+	}
+}

@@ -40,7 +40,13 @@ func main() {
 	data := flag.String("data", "fleet.ds", "dataset path (directory or .gob.gz)")
 	rack := flag.String("rack", "", "drill into one rack, e.g. RegA/3")
 	top := flag.Int("top", 0, "show only the N highest-contention racks")
+	digest := flag.Bool("digest", false, "print the canonical dataset digest and exit (for byte-identity checks)")
 	flag.Parse()
+
+	if *digest {
+		printDigest(*data)
+		return
+	}
 
 	src, err := open(*data)
 	if err != nil {
@@ -62,6 +68,42 @@ func main() {
 		return
 	}
 	overview(src, *top)
+}
+
+// printDigest emits the canonical dataset digest — the value distributed and
+// single-process generations are compared on — and nothing else, so scripts
+// can capture it.
+func printDigest(data string) {
+	var ds *fleet.Dataset
+	if dataset.IsDir(data) {
+		r, err := dataset.Open(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsinspect:", err)
+			os.Exit(1)
+		}
+		if !r.Complete() {
+			done, total := r.Progress()
+			fmt.Fprintf(os.Stderr, "dsinspect: dataset incomplete (%d/%d shards); no digest\n", done, total)
+			os.Exit(1)
+		}
+		ds, err = r.Dataset()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsinspect:", err)
+			os.Exit(1)
+		}
+	} else {
+		ds = &fleet.Dataset{}
+		if err := trace.Load(data, ds); err != nil {
+			fmt.Fprintln(os.Stderr, "dsinspect:", err)
+			os.Exit(1)
+		}
+	}
+	d, err := ds.Digest()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsinspect:", err)
+		os.Exit(1)
+	}
+	fmt.Println(d)
 }
 
 // open resolves the dataset source. An incomplete sharded dataset prints its

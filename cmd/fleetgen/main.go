@@ -20,15 +20,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/distrib"
 	"repro/internal/fleet"
 	"repro/internal/switchsim"
 	"repro/internal/trace"
@@ -46,6 +50,7 @@ func main() {
 	policy := flag.String("policy", "", "counterfactual sharing policy: dt, static, or complete")
 	alpha := flag.Float64("alpha", 0, "counterfactual DT alpha (requires -policy)")
 	ecn := flag.Int("ecn", 0, "counterfactual ECN marking threshold in bytes (requires -policy)")
+	distributed := flag.String("distributed", "", "coordinator URL: submit the generation as a distributed job instead of running locally")
 	flag.Parse()
 
 	var cfg fleet.Config
@@ -111,16 +116,81 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fleetgen: %d racks/region x %d servers x %d hours, seed %d\n",
 		cfg.RacksPerRegion, cfg.ServersPerRack, len(cfg.Hours), cfg.Seed)
 
+	// Ctrl-C / SIGTERM abort cleanly between rack-hours: committed shards
+	// stay, no temp files leak, and re-running the same flags resumes.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if *distributed != "" {
+		if !dataset.LooksSharded(*out) {
+			fmt.Fprintln(os.Stderr, "fleetgen: -distributed needs a sharded output directory, not a .gob.gz file")
+			os.Exit(1)
+		}
+		generateDistributed(ctx, *distributed, *out, cfg)
+		return
+	}
 	if dataset.LooksSharded(*out) {
-		generateSharded(*out, cfg)
+		generateSharded(ctx, *out, cfg)
 		return
 	}
 	generateLegacy(*out, cfg)
 }
 
+// generateDistributed submits the generation to a coordinator and polls
+// until it completes. The dataset lands in dir on the coordinator's
+// filesystem; when that path is visible locally (same machine or shared
+// storage) a summary is printed from it.
+func generateDistributed(ctx context.Context, coordURL, dir string, cfg fleet.Config) {
+	c := &distrib.Client{BaseURL: coordURL, Worker: "fleetgen-submit"}
+	if err := c.Submit(ctx, &distrib.JobRequest{Kind: distrib.KindShard, Dir: dir, Config: &cfg}); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fleetgen: job submitted to %s (dir %s); waiting for workers\n", coordURL, dir)
+	st, err := pollStatus(ctx, c, "fleetgen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fleetgen: distributed generation complete: %d shards, fingerprint %s\n",
+		st.Total, st.Fingerprint)
+	if dataset.IsDir(dir) {
+		if r, err := dataset.Open(dir); err == nil {
+			var runs int
+			for _, s := range r.Shards() {
+				runs += s.Runs
+			}
+			fmt.Fprintf(os.Stderr, "fleetgen: %d runs -> %s\n", runs, dir)
+		}
+	}
+}
+
+// pollStatus waits for the coordinator's job to complete, echoing progress.
+func pollStatus(ctx context.Context, c *distrib.Client, tag string) (*distrib.StatusResponse, error) {
+	lastDone := -1
+	for {
+		st, err := c.Status(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if st.HasJob && st.Done != lastDone {
+			lastDone = st.Done
+			fmt.Fprintf(os.Stderr, "%s: %d/%d units committed\n", tag, st.Done, st.Total)
+		}
+		if st.Complete {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
 // generateSharded runs (or resumes) a sharded generation with per-shard
 // progress and ETA reporting.
-func generateSharded(dir string, cfg fleet.Config) {
+func generateSharded(ctx context.Context, dir string, cfg fleet.Config) {
 	start := time.Now()
 	doneAtStart := 0
 	if dataset.IsDir(dir) {
@@ -143,12 +213,15 @@ func generateSharded(dir string, cfg fleet.Config) {
 		fmt.Fprintf(os.Stderr, "fleetgen: shard %s/%05d done (%d runs) — %d/%d, eta %s\n",
 			p.Region, p.ID, p.Runs, p.Done, p.Total, eta)
 	}
-	r, err := dataset.GenerateDir(dir, cfg, progress)
+	r, err := dataset.GenerateDir(ctx, dir, cfg, progress)
 	if err != nil {
-		if errors.Is(err, dataset.ErrConfigMismatch) {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "fleetgen: interrupted; committed shards kept, re-run the same flags to resume")
+		case errors.Is(err, dataset.ErrConfigMismatch):
 			fmt.Fprintln(os.Stderr, "fleetgen:", err)
 			fmt.Fprintln(os.Stderr, "fleetgen: use a fresh -o directory for a different config or seed")
-		} else {
+		default:
 			fmt.Fprintln(os.Stderr, "fleetgen:", err)
 		}
 		os.Exit(1)

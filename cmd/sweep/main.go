@@ -20,12 +20,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/distrib"
 	"repro/internal/fleet"
 	"repro/internal/fsutil"
 	"repro/internal/sweep"
@@ -40,6 +44,7 @@ func main() {
 	maxPoints := flag.Int("max-points", 0, "stop after N new points (installment execution)")
 	plan := flag.Bool("plan", false, "print the expanded point grid and exit")
 	md := flag.String("md", "", "also write the report as markdown to this file")
+	distributed := flag.String("distributed", "", "coordinator URL: submit the sweep as a distributed job instead of running locally")
 	flag.Parse()
 
 	spec, err := resolveSpec(*specPath, *preset)
@@ -85,11 +90,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: point %d (%s) done — %d/%d, eta %s\n",
 			p.Index, p.Label, p.Done, p.Total, eta)
 	}
-	res, err := sweep.Run(*out, spec, sweep.Options{
-		Workers: *workers, MaxPoints: *maxPoints, Progress: progress,
-	})
+	// Ctrl-C / SIGTERM abort cleanly between rack-hours: committed points
+	// stay, no temp files leak, and re-running the same spec resumes.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var res *sweep.Result
+	if *distributed != "" {
+		res, err = runDistributed(ctx, *distributed, *out, spec)
+	} else {
+		res, err = sweep.Run(ctx, *out, spec, sweep.Options{
+			Workers: *workers, MaxPoints: *maxPoints, Progress: progress,
+		})
+	}
 	if err != nil {
 		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "sweep: interrupted; committed points kept, re-run the same spec to resume")
+			os.Exit(1)
 		case errors.Is(err, sweep.ErrIncomplete):
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			return
@@ -121,6 +139,42 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d points -> %s in %v (result digest %s)\n",
 		len(res.Points), *out, time.Since(start).Round(time.Second), res.Manifest.ResultDigest)
+}
+
+// runDistributed submits the sweep to a coordinator, polls until complete,
+// and opens the result directory locally for the usual report path. The
+// directory must be visible to this process (same machine or shared storage).
+func runDistributed(ctx context.Context, coordURL, dir string, spec sweep.Spec) (*sweep.Result, error) {
+	c := &distrib.Client{BaseURL: coordURL, Worker: "sweep-submit"}
+	if err := c.Submit(ctx, &distrib.JobRequest{Kind: distrib.KindPoint, Dir: dir, Spec: &spec}); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: job submitted to %s (dir %s); waiting for workers\n", coordURL, dir)
+	lastDone := -1
+	for {
+		st, err := c.Status(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if st.HasJob && st.Done != lastDone {
+			lastDone = st.Done
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d points committed\n", st.Done, st.Total)
+		}
+		if st.Complete {
+			fmt.Fprintf(os.Stderr, "sweep: distributed run complete, fingerprint %s\n", st.Fingerprint)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Second):
+		}
+	}
+	if !sweep.IsDir(dir) {
+		fmt.Fprintf(os.Stderr, "sweep: result directory %s is not visible locally; inspect it on the coordinator host\n", dir)
+		os.Exit(0)
+	}
+	return sweep.Open(dir)
 }
 
 // resolveSpec picks the spec from -spec or -preset (exactly one).

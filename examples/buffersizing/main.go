@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 
 	fmt.Println("What-if: buffer-sharing counterfactuals over one busy hour")
 	fmt.Println()
-	res, err := sweep.Run(dir, spec(), sweep.Options{})
+	res, err := sweep.Run(context.Background(), dir, spec(), sweep.Options{})
 	if err != nil {
 		fail(err)
 	}

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/netsim"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -178,6 +180,17 @@ func DefaultHarvestPolicy() HarvestPolicy {
 	}
 }
 
+// retryPolicy maps the harvest bounds onto the shared backoff schedule
+// (internal/retry). Jitter stays zero: harvest delays feed the deterministic
+// simulation, and the frozen golden digests depend on the exact schedule.
+func (p HarvestPolicy) retryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: p.MaxAttempts,
+		Base:        time.Duration(p.Backoff),
+		Factor:      2,
+	}
+}
+
 func (p HarvestPolicy) withDefaults() HarvestPolicy {
 	d := DefaultHarvestPolicy()
 	if p.MaxAttempts <= 0 {
@@ -294,7 +307,7 @@ func (c *Controller) attempt(i, n int, deadline sim.Time) {
 			return
 		}
 		eng := c.rack.Eng
-		backoff := c.policy.Backoff << uint(n-1)
+		backoff := sim.Time(c.policy.retryPolicy().Delay(n, nil))
 		if n >= c.policy.MaxAttempts || eng.Now()+backoff > deadline {
 			c.resolve(i, StatusMissing, nil, err, n)
 			return

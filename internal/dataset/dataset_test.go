@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -54,7 +55,7 @@ func TestGenerateDirMatchesLegacy(t *testing.T) {
 		t.Skip("dataset generation is slow")
 	}
 	dir := filepath.Join(t.TempDir(), "ds")
-	r, err := GenerateDir(dir, tinyConfig(), nil)
+	r, err := GenerateDir(context.Background(), dir, tinyConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestInterruptedResumeIsByteIdentical(t *testing.T) {
 	var mu sync.Mutex
 	committed := 0
 	stop := errors.New("simulated kill")
-	err = fleet.GenerateStream(cfg, fleet.StreamOpts{
+	err = fleet.GenerateStream(context.Background(), cfg, fleet.StreamOpts{
 		Skip: w.Done,
 		Begin: func(meta fleet.RackMeta) (fleet.RackSink, error) {
 			mu.Lock()
@@ -133,7 +134,7 @@ func TestInterruptedResumeIsByteIdentical(t *testing.T) {
 	// (counted via fresh progress events), the temp file swept, and the
 	// final digest must equal an uninterrupted run's.
 	var regenerated int
-	r, err := GenerateDir(dir, cfg, func(Progress) { regenerated++ })
+	r, err := GenerateDir(context.Background(), dir, cfg, func(Progress) { regenerated++ })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestCorruptShardIsRegenerated(t *testing.T) {
 	}
 	// Resume demotes it and regenerates only that shard.
 	var regenerated []string
-	rr, err := GenerateDir(dir, cfg, func(p Progress) {
+	rr, err := GenerateDir(context.Background(), dir, cfg, func(p Progress) {
 		regenerated = append(regenerated, fmt.Sprintf("%s/%d", p.Region, p.ID))
 	})
 	if err != nil {
@@ -314,5 +315,114 @@ func TestEachRunCountsMissingMetadata(t *testing.T) {
 	}
 	if streamed+skipped != len(legacyTiny(t).Runs) {
 		t.Errorf("streamed %d + skipped %d != total %d", streamed, skipped, len(legacyTiny(t).Runs))
+	}
+}
+
+// TestTruncatedShardIsCorrupt covers a crash or partial copy that cut a
+// shard file mid-gzip-stream: the reader must surface ErrCorruptShard, not
+// silently deliver a prefix of the rack's runs, and a resume must repair it.
+func TestTruncatedShardIsCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	cfg := tinyConfig()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, legacyTiny(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, shardFileName(fleet.RegA, 1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-stream — past the gzip header so decoding starts fine and the
+	// damage only shows while streaming runs.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RackRuns(fleet.RegA, 1); !errors.Is(err, ErrCorruptShard) {
+		t.Errorf("reading truncated shard: err = %v, want ErrCorruptShard", err)
+	}
+	if _, err := r.Dataset(); !errors.Is(err, ErrCorruptShard) {
+		t.Errorf("materializing with truncated shard: err = %v, want ErrCorruptShard", err)
+	}
+	// Other shards stay readable: the damage is contained.
+	if _, err := r.RackRuns(fleet.RegA, 0); err != nil {
+		t.Errorf("healthy shard unreadable after sibling truncation: %v", err)
+	}
+	// Resume regenerates exactly the truncated shard, back to byte identity.
+	rr, err := GenerateDir(context.Background(), dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rr.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digestOf(t, ds), digestOf(t, legacyTiny(t)); got != want {
+		t.Errorf("repaired dataset digest %s != clean digest %s", got, want)
+	}
+}
+
+// TestZeroLengthShardIsCorrupt covers the classic crash artifact — an empty
+// file where a shard should be (created but never written, or lost to a
+// non-durable rename). Zero bytes is not even a gzip header, and the reader
+// must classify it as corruption rather than an I/O oddity.
+func TestZeroLengthShardIsCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, legacyTiny(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, shardFileName(fleet.RegB, 0))
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RackRuns(fleet.RegB, 0); !errors.Is(err, ErrCorruptShard) {
+		t.Errorf("reading zero-length shard: err = %v, want ErrCorruptShard", err)
+	}
+	if _, err := r.EachRun(func(*fleet.RunSummary, fleet.Class) error { return nil }); !errors.Is(err, ErrCorruptShard) {
+		t.Errorf("EachRun over zero-length shard: err = %v, want ErrCorruptShard", err)
+	}
+}
+
+// TestMissingShardFileErrors pins the non-corruption failure: a shard file
+// deleted out from under a complete manifest is an I/O error, not
+// ErrCorruptShard — the distinction routes "regenerate" vs "look at your
+// filesystem" messaging in the tools.
+func TestMissingShardFileErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow")
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Write(dir, legacyTiny(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, shardFileName(fleet.RegA, 0))); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.RackRuns(fleet.RegA, 0)
+	if err == nil {
+		t.Fatal("reading missing shard succeeded")
+	}
+	if errors.Is(err, ErrCorruptShard) {
+		t.Errorf("missing file reported as corruption: %v", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file error %v does not wrap os.ErrNotExist", err)
 	}
 }

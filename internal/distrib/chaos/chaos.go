@@ -1,0 +1,211 @@
+// Package chaos is the fault-injection harness for distrib: a
+// http.RoundTripper that drops, duplicates, delays, and corrupts RPCs
+// between worker and coordinator, plus hooks that kill workers mid-unit.
+// The integration tests use it to prove the exactly-once and byte-identity
+// claims under sustained failure, deterministically (seeded PRNG, no real
+// networks harmed).
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/distrib"
+)
+
+// ErrDropped is the transport error injected for dropped RPCs; the client's
+// retry layer sees it exactly like a connection reset.
+var ErrDropped = errors.New("chaos: rpc dropped")
+
+// Config sets fault probabilities. All faults are decided by a PRNG seeded
+// from Seed, so a failing run replays exactly.
+type Config struct {
+	Seed int64
+	// DropRequest is the probability an RPC is dropped before reaching the
+	// coordinator (the request never arrives).
+	DropRequest float64
+	// DropResponse is the probability an RPC executes but its response is
+	// lost — the nasty case: the side effect happened, the caller retries,
+	// and the coordinator must treat the redelivery as a duplicate.
+	DropResponse float64
+	// Duplicate is the probability an RPC is sent twice back-to-back (the
+	// first response is discarded).
+	Duplicate float64
+	// MaxDelay, when positive, sleeps a uniform [0, MaxDelay) before each
+	// attempt — enough scheduling noise to shake out ordering assumptions.
+	MaxDelay time.Duration
+	// CorruptFirstUpload flips one byte inside the first /v1/complete
+	// payload that passes through, keeping the JSON framing and declared
+	// sha256 intact — the coordinator must catch it by digest, quarantine
+	// it, and requeue the unit.
+	CorruptFirstUpload bool
+}
+
+// Transport injects Config's faults around a base RoundTripper.
+type Transport struct {
+	Base http.RoundTripper
+	cfg  Config
+
+	mu        sync.Mutex
+	rnd       *rand.Rand
+	corrupted bool
+
+	// Counters, for test assertions that each fault actually fired.
+	Dropped, Duplicated, Corrupted, Delayed int
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport).
+func NewTransport(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{Base: base, cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws one uniform float under the lock (rand.Rand is not
+// goroutine-safe and workers share the transport).
+func (t *Transport) roll() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rnd.Float64()
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body: faults may need to replay or rewrite it.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if t.cfg.MaxDelay > 0 {
+		d := time.Duration(t.roll() * float64(t.cfg.MaxDelay))
+		t.mu.Lock()
+		t.Delayed++
+		t.mu.Unlock()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+	}
+
+	if t.roll() < t.cfg.DropRequest {
+		t.mu.Lock()
+		t.Dropped++
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (request lost)", ErrDropped, req.URL.Path)
+	}
+
+	if t.cfg.CorruptFirstUpload && strings.HasSuffix(req.URL.Path, "/v1/complete") {
+		if mutated, ok := t.corruptOnce(body); ok {
+			body = mutated
+		}
+	}
+
+	send := func() (*http.Response, error) {
+		r2 := req.Clone(req.Context())
+		if body != nil {
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			r2.ContentLength = int64(len(body))
+		}
+		return t.Base.RoundTrip(r2)
+	}
+
+	if t.roll() < t.cfg.Duplicate {
+		t.mu.Lock()
+		t.Duplicated++
+		t.mu.Unlock()
+		if res, err := send(); err == nil {
+			// The first copy's response is lost; the caller only ever sees
+			// the second delivery's.
+			io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+		}
+	}
+
+	res, err := send()
+	if err != nil {
+		return nil, err
+	}
+	if t.roll() < t.cfg.DropResponse {
+		t.mu.Lock()
+		t.Dropped++
+		t.mu.Unlock()
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		return nil, fmt.Errorf("%w: %s (response lost)", ErrDropped, req.URL.Path)
+	}
+	return res, nil
+}
+
+// corruptOnce flips one payload byte inside a CompleteRequest body,
+// structurally: the JSON is decoded, a byte of the (base64-carried) Payload
+// is inverted, and the body re-encoded with the original declared SHA256 —
+// so the framing survives and the corruption is only catchable by digest
+// verification, the path under test.
+func (t *Transport) corruptOnce(body []byte) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.corrupted {
+		return nil, false
+	}
+	var req map[string]json.RawMessage
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, false
+	}
+	var payload []byte
+	if err := json.Unmarshal(req["Payload"], &payload); err != nil || len(payload) == 0 {
+		return nil, false
+	}
+	payload[len(payload)/2] ^= 0xff
+	mutated, err := json.Marshal(payload)
+	if err != nil {
+		return nil, false
+	}
+	req["Payload"] = mutated
+	out, err := json.Marshal(req)
+	if err != nil {
+		return nil, false
+	}
+	t.corrupted = true
+	t.Corrupted++
+	return out, true
+}
+
+// Stats snapshots the fault counters.
+func (t *Transport) Stats() (dropped, duplicated, corrupted, delayed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Dropped, t.Duplicated, t.Corrupted, t.Delayed
+}
+
+// KillAfter returns a Worker.BeforeUpload hook that lets a worker finish n
+// units and then abandons the next one — no upload, no release, a lease
+// left to die. It is how the in-process chaos test SIGKILLs a worker
+// deterministically mid-unit.
+func KillAfter(n int) func(*distrib.WorkUnit) error {
+	var mu sync.Mutex
+	done := 0
+	return func(*distrib.WorkUnit) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if done >= n {
+			return distrib.ErrAbandon
+		}
+		done++
+		return nil
+	}
+}

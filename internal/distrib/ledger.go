@@ -1,0 +1,105 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LedgerEntry is one unit's delivery history. The chaos harness asserts over
+// these: however many leases, expiries, duplicates, and quarantines a unit
+// accumulates, it must end with exactly one commit.
+type LedgerEntry struct {
+	// Leases counts grants (initial plus post-expiry reassignments).
+	Leases int
+	// Expired counts leases reclaimed for missed heartbeats or blowing the
+	// straggler deadline.
+	Expired int
+	// Commits counts uploads that mutated the result — the exactly-once
+	// invariant is Commits == 1 for every unit of a finished job.
+	Commits int
+	// Duplicates counts verified uploads discarded because the unit was
+	// already committed (redelivery, duplicated RPCs, stale leases).
+	Duplicates int
+	// Quarantined counts uploads rejected for digest or structural
+	// corruption; each one requeued the unit.
+	Quarantined int
+}
+
+// Ledger records per-unit delivery accounting. All methods are safe for
+// concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries map[string]*LedgerEntry
+}
+
+// NewLedger returns a ledger pre-seeded with every unit at zero, so a unit
+// that never even got leased still fails Check.
+func NewLedger(unitIDs []string) *Ledger {
+	l := &Ledger{entries: make(map[string]*LedgerEntry, len(unitIDs))}
+	for _, id := range unitIDs {
+		l.entries[id] = &LedgerEntry{}
+	}
+	return l
+}
+
+func (l *Ledger) bump(id string, f func(*LedgerEntry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[id]
+	if !ok {
+		e = &LedgerEntry{}
+		l.entries[id] = e
+	}
+	f(e)
+}
+
+func (l *Ledger) lease(id string)      { l.bump(id, func(e *LedgerEntry) { e.Leases++ }) }
+func (l *Ledger) expire(id string)     { l.bump(id, func(e *LedgerEntry) { e.Expired++ }) }
+func (l *Ledger) commit(id string)     { l.bump(id, func(e *LedgerEntry) { e.Commits++ }) }
+func (l *Ledger) duplicate(id string)  { l.bump(id, func(e *LedgerEntry) { e.Duplicates++ }) }
+func (l *Ledger) quarantine(id string) { l.bump(id, func(e *LedgerEntry) { e.Quarantined++ }) }
+
+// Entry returns a copy of one unit's accounting.
+func (l *Ledger) Entry(id string) LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[id]; ok {
+		return *e
+	}
+	return LedgerEntry{}
+}
+
+// Totals sums the ledger across units.
+func (l *Ledger) Totals() LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t LedgerEntry
+	for _, e := range l.entries {
+		t.Leases += e.Leases
+		t.Expired += e.Expired
+		t.Commits += e.Commits
+		t.Duplicates += e.Duplicates
+		t.Quarantined += e.Quarantined
+	}
+	return t
+}
+
+// Check asserts the exactly-once invariant: every unit committed exactly
+// once. It reports all violations, sorted, so a chaos failure names the
+// units it broke.
+func (l *Ledger) Check() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var bad []string
+	for id, e := range l.entries {
+		if e.Commits != 1 {
+			bad = append(bad, fmt.Sprintf("%s committed %d times", id, e.Commits))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("distrib: exactly-once violated: %v", bad)
+}

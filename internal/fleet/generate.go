@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -268,6 +269,10 @@ func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) Run
 // finished metadata (BusyAvgContention set, Class not — classification needs
 // every rack and happens at dataset assembly or manifest finalize). A sink
 // is used by exactly one goroutine; distinct racks' sinks run concurrently.
+//
+// A sink may additionally implement Aborter; it is called instead of Commit
+// when the rack is abandoned mid-flight (cancellation or error), so a sink
+// holding an open temp file can discard it.
 type RackSink interface {
 	Run(RunSummary) error
 	Commit(RackMeta) error
@@ -330,6 +335,14 @@ func (v *genVisitor) Done() error {
 	return v.sink.Commit(v.meta)
 }
 
+// Abort forwards abandonment to the sink so it can discard in-progress
+// state (e.g. the shard temp file a dataset sink holds open).
+func (v *genVisitor) Abort() {
+	if a, ok := v.sink.(Aborter); ok {
+		a.Abort()
+	}
+}
+
 // GenerateStream simulates the full schedule rack by rack, streaming each
 // completed rack-hour into the rack's sink as it finishes. Racks are
 // distributed over cfg.Workers long-lived workers, so peak memory per worker
@@ -337,13 +350,14 @@ func (v *genVisitor) Done() error {
 // fleet. The set of produced runs is independent of worker count and
 // scheduling; only completion order varies. The first sink or setup error
 // aborts the generation (simulation failures of individual rack-hours are
-// recorded in the run, not fatal).
-func GenerateStream(cfg Config, opts StreamOpts) error {
+// recorded in the run, not fatal). Cancelling ctx aborts between rack-hours;
+// abandoned sinks get Abort (if implemented), never Commit.
+func GenerateStream(ctx context.Context, cfg Config, opts StreamOpts) error {
 	cfg = cfg.withDefaults()
 	if opts.Begin == nil {
 		return fmt.Errorf("fleet: GenerateStream needs a Begin hook")
 	}
-	return VisitStream(cfg, VisitOpts{
+	return VisitStream(ctx, cfg, VisitOpts{
 		Skip: opts.Skip,
 		Start: func(spec *RackSpec) (RackVisitor, error) {
 			meta := specMeta(spec)
@@ -392,7 +406,7 @@ func Generate(cfg Config) (*Dataset, error) {
 	for i := range racks {
 		slot[rackKey(racks[i].Region, racks[i].ID)] = i
 	}
-	err := GenerateStream(cfg, StreamOpts{
+	err := GenerateStream(context.Background(), cfg, StreamOpts{
 		Begin: func(meta RackMeta) (RackSink, error) {
 			i := slot[rackKey(meta.Region, meta.ID)]
 			return &memSink{meta: &metas[i], runs: &rackRuns[i]}, nil

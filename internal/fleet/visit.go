@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -102,6 +103,11 @@ func SimulateRunFull(cfg Config, spec RackSpec, hour int) (*core.SyncRun, Switch
 // once per scheduled hour, in schedule order, from the worker goroutine that
 // owns the rack; Done is called after the last hour. A visitor is used by
 // exactly one goroutine; distinct racks' visitors run concurrently.
+//
+// A visitor may additionally implement Aborter; VisitStream calls Abort when
+// the rack is abandoned mid-flight (context cancellation, or a VisitRun
+// error) so in-progress resources — open temp files in particular — are
+// released instead of leaking past the stream.
 type RackVisitor interface {
 	// VisitRun receives one rack-hour. When the simulation itself failed,
 	// simErr is non-nil and sr/sc are zero — record the gap and keep going,
@@ -109,6 +115,20 @@ type RackVisitor interface {
 	VisitRun(hour int, sr *core.SyncRun, sc SwitchCounters, simErr error) error
 	// Done finishes the rack. It is not called when a VisitRun aborted.
 	Done() error
+}
+
+// Aborter is the optional cleanup half of a RackVisitor (and of a RackSink):
+// Abort discards whatever the visitor accumulated for its rack. It is called
+// at most once, instead of Done, and must be safe on a partially fed visitor.
+type Aborter interface {
+	Abort()
+}
+
+// abortVisitor releases an abandoned visitor's resources if it knows how.
+func abortVisitor(v RackVisitor) {
+	if a, ok := v.(Aborter); ok {
+		a.Abort()
+	}
 }
 
 // VisitOpts configures a streaming visit over the fleet's rack-hours.
@@ -130,13 +150,21 @@ type VisitOpts struct {
 // runs is independent of worker count and scheduling, only completion order
 // varies. The first visitor or setup error aborts the stream (simulation
 // failures of individual rack-hours are delivered to VisitRun, not fatal).
-func VisitStream(cfg Config, opts VisitOpts) error {
+//
+// Cancelling ctx aborts the stream between rack-hours: in-flight racks are
+// abandoned (their visitors get Abort, never Done), no further racks start,
+// and VisitStream returns ctx.Err(). This is the clean-interruption path —
+// Ctrl-C and distributed-worker drain ride on it instead of kill + resume.
+func VisitStream(ctx context.Context, cfg Config, opts VisitOpts) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	if opts.Start == nil {
 		return fmt.Errorf("fleet: VisitStream needs a Start hook")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	racks := BuildRacks(cfg)
 
@@ -180,7 +208,7 @@ func VisitStream(cfg Config, opts VisitOpts) error {
 		go func() {
 			defer wg.Done()
 			for ri := range idxc {
-				if aborted() {
+				if aborted() || ctx.Err() != nil {
 					continue
 				}
 				spec := &racks[ri]
@@ -191,6 +219,11 @@ func VisitStream(cfg Config, opts VisitOpts) error {
 				}
 				failed := false
 				for _, h := range cfg.Hours {
+					if err := ctx.Err(); err != nil {
+						setErr(err)
+						failed = true
+						break
+					}
 					sr, sc, simErr := SimulateRunFull(cfg, *spec, h)
 					if err := v.VisitRun(h, sr, sc, simErr); err != nil {
 						setErr(err)
@@ -199,6 +232,7 @@ func VisitStream(cfg Config, opts VisitOpts) error {
 					}
 				}
 				if failed {
+					abortVisitor(v)
 					continue
 				}
 				if err := v.Done(); err != nil {
@@ -212,5 +246,8 @@ func VisitStream(cfg Config, opts VisitOpts) error {
 	}
 	close(idxc)
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }

@@ -3,6 +3,12 @@
 // cleanup. The sharded dataset and the sweep point store both build their
 // crash-safety on these — a killed process leaves at worst a .tmp- file that
 // the next invocation sweeps away, never a torn manifest under a final name.
+//
+// Atomic replacement is durable, not just atomic: the temp file is fsynced
+// before the rename and the parent directory after it, so a sealed manifest
+// survives power loss, not only process death. (rename alone orders the
+// change in the page cache; a crash before writeback can resurrect the old
+// file, or worse, a new name pointing at unwritten data.)
 package fsutil
 
 import (
@@ -19,23 +25,54 @@ import (
 // TempPrefix marks in-progress files; RemoveTempFiles reclaims them.
 const TempPrefix = ".tmp-"
 
-// WriteJSONAtomic marshals v (indented, trailing newline) and atomically
-// replaces dir/name via a temp file and rename, so an interrupted update
-// never leaves a torn file behind.
+// syncFile and syncDir are seams so the crash-window test can observe the
+// fsync ordering around the rename without faking a power loss.
+var (
+	syncFile = func(f *os.File) error { return f.Sync() }
+	syncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		// A directory fsync failure is reported, but close regardless.
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return serr
+		}
+		return cerr
+	}
+)
+
+// WriteJSONAtomic marshals v (indented, trailing newline) and atomically and
+// durably replaces dir/name: temp file, fsync, rename, directory fsync. An
+// interrupted update never leaves a torn file behind, and a completed one
+// survives power loss.
 func WriteJSONAtomic(dir, name string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("fsutil: %w", err)
 	}
+	return WriteFileAtomic(dir, name, append(data, '\n'))
+}
+
+// WriteFileAtomic atomically and durably replaces dir/name with data — the
+// byte-level form WriteJSONAtomic and the shard installers build on.
+func WriteFileAtomic(dir, name string, data []byte) error {
 	f, err := os.CreateTemp(dir, TempPrefix+name+"-")
 	if err != nil {
 		return fmt.Errorf("fsutil: %w", err)
 	}
 	tmp := f.Name()
-	if _, err := f.Write(append(data, '\n')); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: fsync: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -45,8 +82,18 @@ func WriteJSONAtomic(dir, name string, v any) error {
 		os.Remove(tmp)
 		return fmt.Errorf("fsutil: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("fsutil: fsync %s: %w", dir, err)
+	}
 	return nil
 }
+
+// SyncFile flushes an open file to stable storage.
+func SyncFile(f *os.File) error { return syncFile(f) }
+
+// SyncDir flushes a directory entry table to stable storage — required after
+// a rename for the new name itself to survive power loss.
+func SyncDir(dir string) error { return syncDir(dir) }
 
 // ReadJSON unmarshals one JSON file into v.
 func ReadJSON(path string, v any) error {
@@ -58,6 +105,13 @@ func ReadJSON(path string, v any) error {
 		return fmt.Errorf("fsutil: %s: %w", path, err)
 	}
 	return nil
+}
+
+// SHA256 returns the hex sha256 of a byte slice, the digest form recorded in
+// manifests.
+func SHA256(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // FileSHA256 returns the hex sha256 of a file's bytes — the digest form

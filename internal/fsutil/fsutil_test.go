@@ -3,8 +3,10 @@ package fsutil
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -29,6 +31,60 @@ func TestWriteJSONAtomicRoundTrip(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 1 {
 		t.Errorf("dir has %d entries after replace, want 1", len(entries))
+	}
+}
+
+// TestAtomicWriteCrashWindow pins the durability ordering that closes the
+// power-loss window: the temp file must be fsynced before the rename makes
+// it reachable, and the directory must be fsynced after — otherwise a crash
+// between writeback points can surface a sealed name with unwritten bytes,
+// or lose the name entirely.
+func TestAtomicWriteCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	var events []string
+	origFile, origDir := syncFile, syncDir
+	defer func() { syncFile, syncDir = origFile, origDir }()
+	syncFile = func(f *os.File) error {
+		// At file-sync time the final name must NOT exist yet (first write)
+		// — we are still inside the temp file.
+		if !strings.HasPrefix(filepath.Base(f.Name()), TempPrefix) {
+			t.Errorf("file fsync on %s, want a %s temp file", f.Name(), TempPrefix)
+		}
+		events = append(events, "sync-file")
+		return origFile(f)
+	}
+	syncDir = func(d string) error {
+		// At directory-sync time the rename has happened: the final name is
+		// in place and no temp file remains.
+		if _, err := os.Stat(filepath.Join(dir, "m.json")); err != nil {
+			t.Errorf("dir fsync before final name exists: %v", err)
+		}
+		events = append(events, "sync-dir")
+		return origDir(d)
+	}
+	if err := WriteJSONAtomic(dir, "m.json", map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "sync-file" || events[1] != "sync-dir" {
+		t.Errorf("sync order = %v, want [sync-file sync-dir]", events)
+	}
+
+	// A failing file fsync must abort the write: the old content stays, the
+	// temp file is reclaimed — the crash-window state is never published.
+	syncFile = func(*os.File) error { return errors.New("injected fsync failure") }
+	syncDir = origDir
+	if err := WriteJSONAtomic(dir, "m.json", map[string]int{"a": 2}); err == nil {
+		t.Fatal("fsync failure did not surface")
+	}
+	var got map[string]int
+	if err := ReadJSON(filepath.Join(dir, "m.json"), &got); err != nil || got["a"] != 1 {
+		t.Errorf("content after aborted write: %v (err %v), want the pre-write value", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Errorf("aborted write leaked temp file %s", e.Name())
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayScheduleMatchesShiftDoubling(t *testing.T) {
+	// The harvest state machine froze goldens on Backoff << (n-1); the
+	// shared policy must reproduce that schedule exactly.
+	p := Policy{Base: 2 * time.Millisecond, Factor: 2, MaxAttempts: 8}
+	for n := 1; n <= 8; n++ {
+		want := 2 * time.Millisecond << uint(n-1)
+		if got := p.Delay(n, nil); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDelayCap(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Factor: 2, Max: 350 * time.Millisecond}
+	want := []time.Duration{100, 200, 350, 350, 350}
+	for i, w := range want {
+		if got := p.Delay(i+1, nil); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterShavesNeverExtends(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Factor: 2, Jitter: 0.5}
+	// rnd pinned at its extremes: 0 keeps the full delay, ~1 shaves half.
+	if got := p.Delay(1, func() float64 { return 0 }); got != 100*time.Millisecond {
+		t.Errorf("jitter with rnd=0: %v, want full 100ms", got)
+	}
+	if got := p.Delay(1, func() float64 { return 1 }); got != 50*time.Millisecond {
+		t.Errorf("jitter with rnd=1: %v, want 50ms", got)
+	}
+	if got := p.Delay(1, nil); got != 100*time.Millisecond {
+		t.Errorf("nil rnd must disable jitter: %v", got)
+	}
+}
+
+// fakeClock records requested sleeps without waiting.
+type fakeClock struct{ slept []time.Duration }
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	return ctx.Err()
+}
+
+func TestDoDeterministicSchedule(t *testing.T) {
+	clk := &fakeClock{}
+	p := Policy{MaxAttempts: 4, Base: 10 * time.Millisecond, Factor: 2}
+	calls := 0
+	err := Do(context.Background(), p, clk.sleep, nil, func(n int) error {
+		calls++
+		if n != calls {
+			t.Errorf("attempt number %d, want %d", n, calls)
+		}
+		return errors.New("transient")
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err = %v after %d calls, want failure after 4", err, calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(clk.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clk.slept, want)
+	}
+	for i := range want {
+		if clk.slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, clk.slept[i], want[i])
+		}
+	}
+}
+
+func TestDoStopsOnSuccessAndPermanent(t *testing.T) {
+	clk := &fakeClock{}
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5}, clk.sleep, nil, func(n int) error {
+		calls++
+		if n < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("success path: err=%v calls=%d, want nil after 3", err, calls)
+	}
+
+	calls = 0
+	sentinel := errors.New("bad request")
+	err = Do(context.Background(), Policy{MaxAttempts: 5}, clk.sleep, nil, func(int) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("permanent path: err=%v calls=%d, want sentinel after 1", err, calls)
+	}
+	if !IsPermanent(err) {
+		t.Error("permanent error lost its marker")
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 3}, nil, nil, func(int) error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("canceled ctx: err=%v calls=%d, want Canceled before any attempt", err, calls)
+	}
+}

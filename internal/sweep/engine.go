@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -45,7 +46,13 @@ type Options struct {
 // killed at any moment — even mid-point — resumes to the byte-identical
 // result, because every point is deterministic in (spec, point) and commits
 // atomically. When MaxPoints leaves work behind, Run returns ErrIncomplete.
-func Run(dir string, spec Spec, opts Options) (*Result, error) {
+//
+// Cancelling ctx aborts between rack-hours with committed points intact;
+// re-running the same spec resumes from them.
+func Run(ctx context.Context, dir string, spec Spec, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	st, err := Create(dir, spec)
 	if err != nil {
 		return nil, err
@@ -77,7 +84,7 @@ func Run(dir string, spec Spec, opts Options) (*Result, error) {
 	// recorded with its commit and anchors every counterfactual's per-class
 	// breakdown.
 	if !st.Done(0) {
-		pr, classes, err := runPoint(base, pts[0].Point, workers, nil, hookFor(0))
+		pr, classes, err := runPoint(ctx, base, pts[0].Point, workers, nil, hookFor(0))
 		if err != nil {
 			return nil, err
 		}
@@ -135,11 +142,11 @@ func Run(dir string, spec Spec, opts Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for pi := range idxc {
-					if aborted() {
+					if aborted() || ctx.Err() != nil {
 						continue
 					}
 					pt := pts[pi].Point
-					pr, _, err := runPoint(base, pt, perPoint, classes, hookFor(pi))
+					pr, _, err := runPoint(ctx, base, pt, perPoint, classes, hookFor(pi))
 					if err != nil {
 						setErr(err)
 						continue
@@ -157,6 +164,9 @@ func Run(dir string, spec Spec, opts Options) (*Result, error) {
 		}
 		close(idxc)
 		wg.Wait()
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
 		if firstErr != nil {
 			return nil, firstErr
 		}
@@ -212,11 +222,21 @@ func (v *tallyVisitor) VisitRun(hour int, sr *core.SyncRun, sc fleet.SwitchCount
 
 func (v *tallyVisitor) Done() error { return nil }
 
+// ComputePoint simulates one grid point of a sweep and returns its result —
+// the unit of work a distributed worker computes. classes must be the
+// baseline classification for every non-baseline point and nil exactly for
+// the baseline, which classifies the racks itself and returns the mapping.
+// The result is deterministic in (base, pt, classes); workers only sets
+// simulation parallelism.
+func ComputePoint(ctx context.Context, base fleet.Config, pt Point, workers int, classes map[string]string) (*PointResult, map[string]string, error) {
+	return runPoint(ctx, base, pt, workers, classes, nil)
+}
+
 // runPoint simulates every rack-hour of the fleet under one override and
 // folds the result per rack in BuildRacks order, so the PointResult is
 // byte-identical for any worker count. classes is nil exactly for the
 // baseline, which classifies the racks itself and returns the mapping.
-func runPoint(base fleet.Config, pt Point, workers int, classes map[string]string, hook func(region string, id int) error) (*PointResult, map[string]string, error) {
+func runPoint(ctx context.Context, base fleet.Config, pt Point, workers int, classes map[string]string, hook func(region string, id int) error) (*PointResult, map[string]string, error) {
 	cfg := base
 	cfg.Switch = pt.Override
 	cfg.Workers = workers
@@ -228,7 +248,7 @@ func runPoint(base fleet.Config, pt Point, workers int, classes map[string]strin
 		slots[i].bestDist = 1 << 30
 		idx[rackKey(racks[i].Region, racks[i].ID)] = i
 	}
-	err := fleet.VisitStream(cfg, fleet.VisitOpts{
+	err := fleet.VisitStream(ctx, cfg, fleet.VisitOpts{
 		Start: func(spec *fleet.RackSpec) (fleet.RackVisitor, error) {
 			if hook != nil {
 				if err := hook(spec.Region, spec.ID); err != nil {

@@ -167,6 +167,9 @@ func verifyPointFile(path, digest string) error {
 	return nil
 }
 
+// Dir returns the store's result directory.
+func (st *Store) Dir() string { return st.dir }
+
 // Done reports whether a point is already committed.
 func (st *Store) Done(index int) bool {
 	st.mu.Lock()
@@ -224,25 +227,44 @@ func (st *Store) Points() []PointEntry {
 // baseline point, is recorded in the same manifest update, so a crash can
 // never leave a committed baseline without its classification.
 func (st *Store) CommitPoint(pr *PointResult, classes map[string]string) error {
+	_, err := st.commitPoint(pr, classes, false)
+	return err
+}
+
+// CommitPointIfNew is the idempotent commit distributed result delivery
+// rides on: a point already committed is left untouched (committed=false,
+// nil error), so duplicated or replayed uploads can never alter the result
+// directory — the first valid commit wins, byte for byte.
+func (st *Store) CommitPointIfNew(pr *PointResult, classes map[string]string) (committed bool, err error) {
+	return st.commitPoint(pr, classes, true)
+}
+
+func (st *Store) commitPoint(pr *PointResult, classes map[string]string, skipDone bool) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if pr.Index < 0 || pr.Index >= len(st.man.Points) {
-		return fmt.Errorf("sweep: point %d not in manifest", pr.Index)
+		return false, fmt.Errorf("sweep: point %d not in manifest", pr.Index)
+	}
+	if skipDone && st.man.Points[pr.Index].Complete {
+		return false, nil
 	}
 	entry := &st.man.Points[pr.Index]
 	if err := fsutil.WriteJSONAtomic(st.dir, entry.File, pr); err != nil {
-		return fmt.Errorf("sweep: %w", err)
+		return false, fmt.Errorf("sweep: %w", err)
 	}
 	digest, err := fsutil.FileSHA256(filepath.Join(st.dir, entry.File))
 	if err != nil {
-		return fmt.Errorf("sweep: %w", err)
+		return false, fmt.Errorf("sweep: %w", err)
 	}
 	entry.Digest = digest
 	entry.Complete = true
 	if classes != nil {
 		st.man.Classes = classes
 	}
-	return st.writeManifest()
+	if err := st.writeManifest(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Finalize seals the sweep: it refuses while points are pending, then

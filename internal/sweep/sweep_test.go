@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -109,7 +110,7 @@ func TestExpandGridAxes(t *testing.T) {
 // runDigest executes the spec into dir and returns the result digest.
 func runDigest(t *testing.T, dir string, s Spec, opts Options) string {
 	t.Helper()
-	res, err := Run(dir, s, opts)
+	res, err := Run(context.Background(), dir, s, opts)
 	if err != nil {
 		t.Fatalf("Run(%s): %v", dir, err)
 	}
@@ -143,7 +144,7 @@ func TestInterruptedResumeIsByteIdentical(t *testing.T) {
 	// leaving a stray temp file like a SIGKILL would.
 	dir := filepath.Join(t.TempDir(), "resumed")
 	var started int32
-	_, err := Run(dir, s, Options{Workers: 2, rackHook: func(point int, region string, id int) error {
+	_, err := Run(context.Background(), dir, s, Options{Workers: 2, rackHook: func(point int, region string, id int) error {
 		if atomic.AddInt32(&started, 1) > 2 {
 			return fmt.Errorf("injected crash")
 		}
@@ -187,7 +188,7 @@ func TestMaxPointsInstallments(t *testing.T) {
 	clean := runDigest(t, filepath.Join(t.TempDir(), "clean"), s, Options{Workers: 2})
 
 	dir := filepath.Join(t.TempDir(), "installments")
-	if _, err := Run(dir, s, Options{Workers: 2, MaxPoints: 2}); !errors.Is(err, ErrIncomplete) {
+	if _, err := Run(context.Background(), dir, s, Options{Workers: 2, MaxPoints: 2}); !errors.Is(err, ErrIncomplete) {
 		t.Fatalf("MaxPoints run returned %v, want ErrIncomplete", err)
 	}
 	st, err := Create(dir, s)
@@ -205,7 +206,7 @@ func TestMaxPointsInstallments(t *testing.T) {
 func TestResumeRefusesMismatchedSpec(t *testing.T) {
 	s := tinySpec(19)
 	dir := filepath.Join(t.TempDir(), "sw")
-	if _, err := Run(dir, s, Options{Workers: 2, MaxPoints: 1}); !errors.Is(err, ErrIncomplete) {
+	if _, err := Run(context.Background(), dir, s, Options{Workers: 2, MaxPoints: 1}); !errors.Is(err, ErrIncomplete) {
 		t.Fatalf("seed run returned %v", err)
 	}
 	other := s
@@ -259,7 +260,7 @@ func TestPolicyPeakOrdering(t *testing.T) {
 		Policies: []switchsim.Policy{switchsim.PolicyDT, switchsim.PolicyStatic, switchsim.PolicyComplete},
 	}
 	dir := filepath.Join(t.TempDir(), "sw")
-	res, err := Run(dir, s, Options{Workers: 2})
+	res, err := Run(context.Background(), dir, s, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestPolicyPeakOrdering(t *testing.T) {
 func TestPointMetricsSanity(t *testing.T) {
 	s := tinySpec(31)
 	dir := filepath.Join(t.TempDir(), "sw")
-	res, err := Run(dir, s, Options{Workers: 2})
+	res, err := Run(context.Background(), dir, s, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

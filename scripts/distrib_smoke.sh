@@ -1,0 +1,77 @@
+#!/bin/sh
+# distrib_smoke.sh proves the distributed generation pipeline end to end on
+# one machine: a coordinator plus two workers generate a dataset while one
+# worker is SIGKILLed mid-run, and the result must be byte-identical (same
+# canonical digest) to a single-process generation of the same config.
+#
+# This is the shell-level companion to the in-process chaos suite
+# (internal/distrib/chaos): real binaries, real HTTP, a real kill -9.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${DISTRIB_SMOKE_PORT:-19009}"
+COORD="http://127.0.0.1:${PORT}"
+# Big enough that a lone worker cannot finish before the kill lands (~8
+# shards), small enough to stay CI-friendly.
+FLAGS="-preset small -racks 2 -servers 24 -hours 0,6 -buckets 500 -seed 7"
+
+tmp="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo ">> building binaries"
+go build -o "$tmp/bin/" ./cmd/fleetgen ./cmd/coordinator ./cmd/worker ./cmd/dsinspect
+
+echo ">> golden single-process generation"
+# shellcheck disable=SC2086 # FLAGS is a flag list by construction
+"$tmp/bin/fleetgen" $FLAGS -o "$tmp/golden.ds"
+golden="$("$tmp/bin/dsinspect" -data "$tmp/golden.ds" -digest)"
+echo "   golden digest $golden"
+
+echo ">> distributed generation with a SIGKILLed worker"
+# No -once: the coordinator keeps serving status until the submitter and the
+# surviving worker have both observed completion; the trap reaps it.
+"$tmp/bin/coordinator" -listen "127.0.0.1:${PORT}" -lease-ttl 2s &
+pids="$pids $!"
+sleep 0.5
+
+# Submit the job (the client polls until the job completes).
+# shellcheck disable=SC2086
+"$tmp/bin/fleetgen" $FLAGS -distributed "$COORD" -o "$tmp/dist.ds" &
+submit=$!
+pids="$pids $submit"
+
+# The victim worker starts alone so it is guaranteed to hold leases when the
+# kill arrives; its units are recovered only through lease expiry.
+"$tmp/bin/worker" -coordinator "$COORD" -name victim &
+victim=$!
+pids="$pids $victim"
+sleep 1.5
+kill -9 "$victim" 2>/dev/null || true
+echo "   SIGKILLed worker 'victim' ($victim)"
+
+"$tmp/bin/worker" -coordinator "$COORD" -name survivor &
+pids="$pids $!"
+
+if ! wait "$submit"; then
+    echo "distrib_smoke: distributed generation failed" >&2
+    exit 1
+fi
+
+dist="$("$tmp/bin/dsinspect" -data "$tmp/dist.ds" -digest)"
+echo "   distributed digest $dist"
+if [ "$golden" != "$dist" ]; then
+    echo "distrib_smoke: FAIL: distributed digest $dist != golden $golden" >&2
+    exit 1
+fi
+if [ ! -d "$tmp/dist.ds" ]; then
+    echo "distrib_smoke: FAIL: no dataset directory produced" >&2
+    exit 1
+fi
+
+echo "distrib_smoke: PASS — distributed dataset byte-identical to single-process"
