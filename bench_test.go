@@ -123,6 +123,38 @@ func BenchmarkSweepSmoke(b *testing.B) {
 	}
 }
 
+// benchGenerate measures one full dataset generation per iteration at the
+// given fidelity, on the bench preset with a pinned worker count so the
+// number is comparable across machines.
+func benchGenerate(b *testing.B, fid fleet.Fidelity) {
+	cfg := fleet.SmallConfig()
+	if os.Getenv("REPRO_BENCH_PRESET") == "default" {
+		cfg = fleet.DefaultConfig()
+	}
+	cfg.Workers = 2
+	cfg.KeepExamples = false
+	cfg.Fidelity = fid
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := fleet.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Runs) == 0 {
+			b.Fatal("generation produced no runs")
+		}
+	}
+}
+
+// BenchmarkGenerateFull is the legacy segment-engine generation — the
+// denominator of the hybrid speedup recorded in BENCH.json.
+func BenchmarkGenerateFull(b *testing.B) { benchGenerate(b, fleet.FidelityFull) }
+
+// BenchmarkGenerateHybrid is the hybrid-fidelity generation; the acceptance
+// gate requires it >= 3x faster than BenchmarkGenerateFull on the small
+// preset.
+func BenchmarkGenerateHybrid(b *testing.B) { benchGenerate(b, fleet.FidelityHybrid) }
+
 // ---- §4.3 performance microbenchmarks ----
 
 // benchHost builds a bare host + sampler for hot-path measurement.

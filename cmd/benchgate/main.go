@@ -47,7 +47,8 @@ type GenResult struct {
 	Digest      string  `json:"digest"`
 }
 
-// File is the on-disk benchmark record (BENCH_PR2.json).
+// File is the on-disk benchmark record (BENCH_PR7.json). Schema 2 adds the
+// hybrid-fidelity generation measurement and its speedup over full fidelity.
 type File struct {
 	Schema      int                    `json:"schema"`
 	CreatedUnix int64                  `json:"created_unix"`
@@ -55,7 +56,16 @@ type File struct {
 	GOMAXPROCS  int                    `json:"gomaxprocs"`
 	Benchmarks  map[string]BenchResult `json:"benchmarks"`
 	Generate    GenResult              `json:"generate"`
+	// GenerateHybrid is the same small-preset generation on the hybrid
+	// fluid/packet engine; HybridSpeedup = Generate.WallSeconds /
+	// GenerateHybrid.WallSeconds. Absent (zero) in schema-1 files.
+	GenerateHybrid GenResult `json:"generate_hybrid,omitempty"`
+	HybridSpeedup  float64   `json:"hybrid_speedup,omitempty"`
 }
+
+// minHybridSpeedup is the acceptance floor: the hybrid path must generate the
+// small preset at least this many times faster than the full engine.
+const minHybridSpeedup = 3.0
 
 func main() {
 	if len(os.Args) < 2 {
@@ -78,7 +88,7 @@ func runCmd(args []string) {
 	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
 	micro := fs.String("bench", "Sampler|PcapLike|Engine", "regex of microbenchmarks (default benchtime)")
 	microTime := fs.String("micro-time", "1s", "benchtime for the microbenchmarks")
-	figs := fs.String("figs", "Fig|Table|Sweep", "regex of figure/table/sweep benchmarks (fixed iteration count)")
+	figs := fs.String("figs", "Fig|Table|Sweep|Generate", "regex of figure/table/sweep/generation benchmarks (fixed iteration count)")
 	figCount := fs.Int("fig-count", 3, "iterations for figure/table benchmarks")
 	fs.Parse(args)
 
@@ -89,18 +99,24 @@ func runCmd(args []string) {
 	runGoBench(results, *micro, *microTime)
 	runGoBench(results, *figs, strconv.Itoa(*figCount)+"x")
 
-	gen, err := measureGenerate()
+	gen, err := measureGenerate(fleet.FidelityFull)
+	if err != nil {
+		fatal(err)
+	}
+	hyb, err := measureGenerate(fleet.FidelityHybrid)
 	if err != nil {
 		fatal(err)
 	}
 
 	f := File{
-		Schema:      1,
-		CreatedUnix: time.Now().Unix(),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Benchmarks:  results,
-		Generate:    gen,
+		Schema:         2,
+		CreatedUnix:    time.Now().Unix(),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Benchmarks:     results,
+		Generate:       gen,
+		GenerateHybrid: hyb,
+		HybridSpeedup:  gen.WallSeconds / hyb.WallSeconds,
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -110,8 +126,8 @@ func runCmd(args []string) {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchgate: %d benchmarks, generate wall %.2fs, written to %s\n",
-		len(results), gen.WallSeconds, *out)
+	fmt.Printf("benchgate: %d benchmarks, generate wall %.2fs (hybrid %.2fs, %.2fx), written to %s\n",
+		len(results), gen.WallSeconds, hyb.WallSeconds, f.HybridSpeedup, *out)
 }
 
 // minGateIters is the iteration floor below which a benchmark's ns/op is
@@ -147,12 +163,13 @@ func runGoBench(into map[string]BenchResult, pattern, benchtime string) {
 	}
 }
 
-// measureGenerate times one full small-preset collection day. Workers is
-// pinned to 2 so the number is comparable across machines and matches the
-// golden-digest test's configuration.
-func measureGenerate() (GenResult, error) {
+// measureGenerate times one small-preset collection day at the given
+// fidelity. Workers is pinned to 2 so the number is comparable across
+// machines and matches the golden-digest test's configuration.
+func measureGenerate(fid fleet.Fidelity) (GenResult, error) {
 	cfg := fleet.SmallConfig()
 	cfg.Workers = 2
+	cfg.Fidelity = fid
 	t0 := time.Now()
 	ds, err := fleet.Generate(cfg)
 	if err != nil {
@@ -230,6 +247,26 @@ func compareCmd(args []string) {
 	if og.Digest != "" && ng.Digest != og.Digest {
 		failures = append(failures, fmt.Sprintf("generate: dataset digest drifted (%s -> %s): behavior change, not a perf change",
 			short(og.Digest), short(ng.Digest)))
+	}
+	// Hybrid gates (schema 2+): wall-time regression like the full path, the
+	// speedup floor the hybrid engine exists for, and digest determinism.
+	// Against a schema-1 baseline only the absolute speedup floor applies.
+	oh, nh := older.GenerateHybrid, newer.GenerateHybrid
+	if nh.WallSeconds > 0 {
+		if speedup := ng.WallSeconds / nh.WallSeconds; speedup < minHybridSpeedup {
+			failures = append(failures, fmt.Sprintf("generate_hybrid: %.2fx speedup over full fidelity (floor %.1fx)",
+				speedup, minHybridSpeedup))
+		}
+		if oh.WallSeconds > 0 && nh.WallSeconds > oh.WallSeconds*(1+*tol) {
+			failures = append(failures, fmt.Sprintf("generate_hybrid: %.2fs wall vs %.2fs baseline (+%.0f%%, tol %.0f%%)",
+				nh.WallSeconds, oh.WallSeconds, 100*(nh.WallSeconds/oh.WallSeconds-1), 100**tol))
+		}
+		if oh.Digest != "" && nh.Digest != oh.Digest {
+			failures = append(failures, fmt.Sprintf("generate_hybrid: dataset digest drifted (%s -> %s): behavior change, not a perf change",
+				short(oh.Digest), short(nh.Digest)))
+		}
+	} else if oh.WallSeconds > 0 {
+		failures = append(failures, "generate_hybrid: missing from new results")
 	}
 
 	if len(failures) > 0 {

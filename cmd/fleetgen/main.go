@@ -34,6 +34,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/distrib"
 	"repro/internal/fleet"
+	"repro/internal/prof"
 	"repro/internal/switchsim"
 	"repro/internal/trace"
 )
@@ -51,7 +52,16 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "counterfactual DT alpha (requires -policy)")
 	ecn := flag.Int("ecn", 0, "counterfactual ECN marking threshold in bytes (requires -policy)")
 	distributed := flag.String("distributed", "", "coordinator URL: submit the generation as a distributed job instead of running locally")
+	fidelity := flag.String("fidelity", "", "simulation fidelity: full (default, byte-exact) or hybrid (fluid fast path)")
+	profFlags := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	profSession, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetgen:", err)
+		os.Exit(1)
+	}
+	defer profSession.Stop()
 
 	var cfg fleet.Config
 	switch *preset {
@@ -94,6 +104,14 @@ func main() {
 			}
 			cfg.Hours = append(cfg.Hours, h)
 		}
+	}
+	if *fidelity != "" {
+		fid, err := fleet.ParseFidelity(*fidelity)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetgen:", err)
+			os.Exit(1)
+		}
+		cfg.Fidelity = fid
 	}
 	if *policy == "" && (*alpha != 0 || *ecn != 0) {
 		fmt.Fprintln(os.Stderr, "fleetgen: -alpha/-ecn need -policy (use -policy dt for baseline-style sharing)")

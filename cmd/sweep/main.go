@@ -32,6 +32,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/fleet"
 	"repro/internal/fsutil"
+	"repro/internal/prof"
 	"repro/internal/sweep"
 	"repro/internal/switchsim"
 )
@@ -45,11 +46,26 @@ func main() {
 	plan := flag.Bool("plan", false, "print the expanded point grid and exit")
 	md := flag.String("md", "", "also write the report as markdown to this file")
 	distributed := flag.String("distributed", "", "coordinator URL: submit the sweep as a distributed job instead of running locally")
+	fidelity := flag.String("fidelity", "", "simulation fidelity: full (default, byte-exact) or hybrid (fluid fast path)")
+	profFlags := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	profSession, err := profFlags.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer profSession.Stop()
 
 	spec, err := resolveSpec(*specPath, *preset)
 	if err != nil {
 		fail(err)
+	}
+	if *fidelity != "" {
+		fid, err := fleet.ParseFidelity(*fidelity)
+		if err != nil {
+			fail(err)
+		}
+		spec.Fleet.Fidelity = fid
 	}
 	pts, err := spec.Expand()
 	if err != nil {

@@ -233,6 +233,47 @@ func (s *Sampler) Handle(now sim.Time, core int, dir netsim.Direction, seg *nets
 	}
 }
 
+// MarkStart pins an armed run's time origin to the host's current wall
+// clock, as if a packet had just been observed. The production tool is
+// start-on-first-packet; the hybrid-fidelity driver pins the origin at the
+// window open instead, because under fluid advancement the first real packet
+// may arrive long into the window and would skew the run's timebase.
+func (s *Sampler) MarkStart() {
+	if !s.enabled || s.started {
+		return
+	}
+	s.started = true
+	s.startWall = s.host.Clock.Now(s.host.Engine().Now())
+}
+
+// AccountBulk credits bytes of counter kind to one bucket without traversing
+// the per-packet path — the fluid model's bulk-accounting entry point. The
+// caller works on the bucket grid MarkStart pinned; out-of-range buckets are
+// dropped exactly like packets beyond the window.
+func (s *Sampler) AccountBulk(kind, bucket int, bytes uint64) {
+	if kind < 0 || kind >= NumCounters || bucket < 0 || bucket >= s.cfg.Buckets {
+		return
+	}
+	s.cpus[0].bytes[kind*s.cfg.Buckets+bucket] += bytes
+}
+
+// AccountConns inserts pre-hashed flows into one bucket's connection sketch,
+// the fluid counterpart of the per-packet sketch insertion. Hashes must come
+// from FlowHash so fluid and packet contributions of the same connection
+// land on the same sketch bits.
+func (s *Sampler) AccountConns(bucket int, hashes []uint64) {
+	if bucket < 0 || bucket >= s.cfg.Buckets || s.cpus[0].sketches == nil {
+		return
+	}
+	sk := &s.cpus[0].sketches[bucket]
+	for _, h := range hashes {
+		sk.Insert(h)
+	}
+}
+
+// FlowHash returns the direction-canonical hash the connection sketch uses.
+func FlowHash(f netsim.FlowKey) uint64 { return canonicalFlowHash(f) }
+
 // canonicalFlowHash hashes a flow so both directions of a connection map to
 // the same sketch bit: the sketch counts active connections regardless of
 // direction (paper §4.2).

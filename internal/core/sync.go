@@ -340,6 +340,11 @@ func (c *Controller) HarvestDeadline(at sim.Time) sim.Time {
 	return c.HarvestAt(at) + c.policy.StragglerDeadline
 }
 
+// Samplers returns the per-server samplers in rack port order. The hybrid
+// driver uses it to pin run origins (MarkStart) and apply fluid bulk
+// accounting; the samplers remain owned by the controller.
+func (c *Controller) Samplers() []*Sampler { return c.samplers }
+
 // Done reports whether every host of the scheduled run has been resolved
 // (harvested, or conclusively failed). It resets on each Schedule call.
 func (c *Controller) Done() bool { return c.done }

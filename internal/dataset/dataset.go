@@ -112,6 +112,15 @@ func normalizeConfig(cfg fleet.Config) fleet.Config {
 	return n
 }
 
+// fidelityName spells out a config's fidelity for error messages: the
+// normalized form stores full fidelity as the empty string.
+func fidelityName(f fleet.Fidelity) string {
+	if f == "" {
+		return string(fleet.FidelityFull)
+	}
+	return string(f)
+}
+
 // configsMatch reports whether a resume config is compatible with the
 // manifest's.
 func configsMatch(a, b fleet.Config) bool {

@@ -180,6 +180,20 @@ func TestResumeRefusesMismatchedConfig(t *testing.T) {
 	if _, err := Create(dir, workers); err != nil {
 		t.Errorf("different workers blocked resume: %v", err)
 	}
+	// Fidelity changes the engine, so mixing hybrid shards into a
+	// full-fidelity dataset (or vice versa) must be refused: the manifest
+	// records the fidelity and the commit path compares it.
+	hybrid := cfg
+	hybrid.Fidelity = fleet.FidelityHybrid
+	if _, err := Create(dir, hybrid); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("hybrid resume of full dataset: err = %v, want ErrConfigMismatch", err)
+	}
+	// Spelling full explicitly must stay equivalent to the legacy zero value.
+	full := cfg
+	full.Fidelity = fleet.FidelityFull
+	if _, err := Create(dir, full); err != nil {
+		t.Errorf("explicit full fidelity blocked resume: %v", err)
+	}
 }
 
 func TestWriteRoundTrip(t *testing.T) {

@@ -44,6 +44,33 @@ func (c Class) String() string {
 	}
 }
 
+// Fidelity selects the simulation engine a generation runs on.
+type Fidelity string
+
+const (
+	// FidelityFull is the segment-level engine for every instant of every
+	// rack-hour — the byte-identical legacy path the golden digests pin. The
+	// empty string is its canonical spelling: older manifests and configs
+	// predate the knob, and their zero value must keep meaning "full".
+	FidelityFull Fidelity = "full"
+	// FidelityHybrid advances quiet intervals with the fluid model
+	// (internal/fluid) and drops to the segment engine only inside
+	// burst-triggered episodes. Output is distributionally — not byte —
+	// equivalent to full fidelity; the equivalence test bounds the drift.
+	FidelityHybrid Fidelity = "hybrid"
+)
+
+// ParseFidelity maps a CLI/spec string onto a Fidelity value.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch Fidelity(s) {
+	case "", FidelityFull:
+		return FidelityFull, nil
+	case FidelityHybrid:
+		return FidelityHybrid, nil
+	}
+	return "", fmt.Errorf("fleet: unknown fidelity %q (want full or hybrid)", s)
+}
+
 // Config sizes a dataset generation.
 type Config struct {
 	// Seed drives all placement and traffic randomness.
@@ -75,6 +102,10 @@ type Config struct {
 	// zero value keeps the production defaults and reproduces the measured
 	// fleet exactly; the sweep engine varies it per grid point.
 	Switch SwitchOverride
+	// Fidelity selects the engine: empty or FidelityFull is the byte-identical
+	// legacy path, FidelityHybrid the fluid fast path. The normalized form
+	// spells full as "" so manifests written before the knob still match.
+	Fidelity Fidelity
 }
 
 // DefaultConfig is the full-size generation used by cmd/fleetgen and the
@@ -139,6 +170,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fleet: hour %d outside [0,23]", h)
 		}
 	}
+	if _, err := ParseFidelity(string(c.Fidelity)); err != nil {
+		return err
+	}
 	if !c.Switch.IsZero() {
 		ports := c.ServersPerRack
 		if ports <= 0 {
@@ -178,6 +212,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = d.Workers
+	}
+	if c.Fidelity == FidelityFull {
+		c.Fidelity = ""
 	}
 	return c
 }

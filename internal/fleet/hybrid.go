@@ -1,0 +1,44 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/switchsim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// simulateRunHybrid is the Fidelity == FidelityHybrid engine behind
+// SimulateRunFull: the same rack construction and the same deterministic
+// (cfg, spec, hour) contract, but the rack-hour itself runs on the hybrid
+// fluid/packet path. The returned SyncRun and counters are distributionally —
+// not byte — equivalent to the full engine's.
+func simulateRunHybrid(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchCounters, error) {
+	rcfg := testbed.RackConfig{
+		Servers: cfg.ServersPerRack,
+		Remotes: 4 * cfg.ServersPerRack,
+		Seed:    spec.Seed ^ (uint64(hour+1) * 0x9e3779b97f4a7c15),
+	}
+	if !cfg.Switch.IsZero() {
+		rcfg.Switch = cfg.Switch.Apply(switchsim.DefaultConfig(cfg.ServersPerRack))
+	}
+	rack := testbed.NewRack(rcfg)
+	scale := DiurnalFactor(hour) * spec.Intensity
+	profiles := make([]workload.Profile, len(spec.Profiles))
+	for i, p := range spec.Profiles {
+		profiles[i] = p.Scale(scale)
+	}
+	res, err := fluid.SimulateRack(rack, profiles, rack.RNG.Fork(0x10AD), fluid.Config{
+		Sampler: core.Config{Interval: cfg.Interval, Buckets: cfg.Buckets, CountFlows: true},
+	})
+	if err != nil {
+		return nil, SwitchCounters{}, fmt.Errorf("rack %s/%d hour %d (hybrid): %w", spec.Region, spec.ID, hour, err)
+	}
+	return res.Sync, SwitchCounters{
+		Before:         res.Before,
+		After:          res.After,
+		PeakQueueBytes: res.PeakQueueBytes,
+	}, nil
+}

@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// TestHybridStatsSplit reports the detector's packet/fluid split over the
+// small preset's busy hour — a diagnostic for tuning, not an assertion.
+func TestHybridStatsSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := SmallConfig().WithDefaults()
+	racks := BuildRacks(cfg)
+	var pkt, fl, eps int
+	hour := BusyHour
+	for i := range racks[:4] {
+		spec := racks[i]
+		rcfg := testbed.RackConfig{
+			Servers: cfg.ServersPerRack,
+			Remotes: 4 * cfg.ServersPerRack,
+			Seed:    spec.Seed ^ (uint64(hour+1) * 0x9e3779b97f4a7c15),
+		}
+		rack := testbed.NewRack(rcfg)
+		scale := DiurnalFactor(hour) * spec.Intensity
+		profiles := make([]workload.Profile, len(spec.Profiles))
+		for j, p := range spec.Profiles {
+			profiles[j] = p.Scale(scale)
+		}
+		res, err := fluid.SimulateRack(rack, profiles, rack.RNG.Fork(0x10AD), fluid.Config{
+			Sampler: core.Config{Interval: cfg.Interval, Buckets: cfg.Buckets, CountFlows: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt += res.Stats.PacketBursts
+		fl += res.Stats.FluidBursts
+		eps += res.Stats.Episodes
+	}
+	t.Logf("packet=%d fluid=%d episodes=%d packet share=%.2f", pkt, fl, eps,
+		float64(pkt)/float64(pkt+fl))
+}

@@ -55,6 +55,9 @@ func (c SwitchCounters) asDelta() SwitchDelta {
 // when non-zero and through the exact historical path when zero.
 func SimulateRunFull(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchCounters, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Fidelity == FidelityHybrid {
+		return simulateRunHybrid(cfg, spec, hour)
+	}
 	rcfg := testbed.RackConfig{
 		Servers: cfg.ServersPerRack,
 		Remotes: 4 * cfg.ServersPerRack,

@@ -1,0 +1,328 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func mkBurst(server int, at sim.Time, volume float64, fresh bool, fan int) *PlannedBurst {
+	return PlanBurst(workload.BurstEvent{At: at, Volume: volume}, server, fan, fresh,
+		12_500_000_000, sim.Millisecond, DefaultDetectorConfig())
+}
+
+// bigVol is comfortably supercritical at 12.5 Gb/s and 1 ms sampling
+// (bucket capacity 1.5625 MB).
+const bigVol = 2e6
+
+func TestDetectLoneBurstsStayFluid(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	// Widely separated persistent bursts on distinct servers: nothing to
+	// contend with, everything stays fluid.
+	plan := []*PlannedBurst{
+		mkBurst(0, 10*sim.Millisecond, bigVol, false, 8),
+		mkBurst(1, 50*sim.Millisecond, bigVol, false, 8),
+		mkBurst(2, 90*sim.Millisecond, bigVol, true, 36),
+	}
+	eps := Detect(plan, cfg)
+	if len(eps) != 0 {
+		t.Fatalf("lone bursts produced %d episodes", len(eps))
+	}
+	for i, b := range plan {
+		if b.Packet {
+			t.Errorf("burst %d marked packet", i)
+		}
+	}
+}
+
+func TestDetectSameServerOverlapGoesPacket(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	// Back-to-back on one server: the second lands mid-drain of the first —
+	// a shared egress queue, which must straddle one packet episode rather
+	// than being re-coarsened between the two.
+	a := mkBurst(0, 10*sim.Millisecond, bigVol, false, 8)
+	b := mkBurst(0, a.At+a.Drain/2, bigVol, false, 8)
+	other := mkBurst(1, 40*sim.Millisecond, bigVol, false, 8)
+	eps := Detect([]*PlannedBurst{a, b, other}, cfg)
+	if !a.Packet || !b.Packet {
+		t.Fatalf("same-server overlap not packet: a=%v b=%v", a.Packet, b.Packet)
+	}
+	if other.Packet {
+		t.Error("unrelated burst marked packet")
+	}
+	if len(eps) != 1 {
+		t.Fatalf("want 1 episode, got %d", len(eps))
+	}
+	if len(eps[0].Bursts) != 2 {
+		t.Fatalf("episode covers %d bursts, want 2", len(eps[0].Bursts))
+	}
+	if eps[0].Start > a.At || eps[0].End < b.At+b.Drain {
+		t.Errorf("episode [%v,%v] does not cover both bursts", eps[0].Start, eps[0].End)
+	}
+}
+
+func TestDetectExactEdgeDoesNotOverlap(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	// Two same-server bursts whose slack-padded spans share exactly one
+	// boundary instant: a span is half-open, so an exact edge is adjacency,
+	// not overlap.
+	a := mkBurst(0, 10*sim.Millisecond, bigVol, false, 8)
+	_, aEnd := a.Span(cfg)
+	b := mkBurst(0, aEnd+cfg.Lead, bigVol, false, 8)
+	if s, _ := b.Span(cfg); s != aEnd {
+		t.Fatalf("test setup: spans not adjacent (a ends %v, b starts %v)", aEnd, s)
+	}
+	Detect([]*PlannedBurst{a, b}, cfg)
+	if a.Packet || b.Packet {
+		t.Errorf("adjacent spans marked packet: a=%v b=%v", a.Packet, b.Packet)
+	}
+	// One nanosecond of genuine overlap flips both.
+	c := mkBurst(0, aEnd+cfg.Lead-1, bigVol, false, 8)
+	Detect([]*PlannedBurst{a, c}, cfg)
+	if !a.Packet || !c.Packet {
+		t.Errorf("1 ns overlap not detected: a=%v c=%v", a.Packet, c.Packet)
+	}
+}
+
+func TestDetectFreshOverlapGoesPacket(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	f := mkBurst(0, 10*sim.Millisecond, bigVol, true, 56)
+	p := mkBurst(1, f.At+f.Drain/2, bigVol, false, 8)
+	Detect([]*PlannedBurst{f, p}, cfg)
+	if !f.Packet || !p.Packet {
+		t.Errorf("fresh overlap not packet: fresh=%v persistent=%v", f.Packet, p.Packet)
+	}
+}
+
+func TestDetectDepthEscalation(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	// Depth-1 concurrent persistent bursts on distinct servers stay fluid;
+	// one more concurrent burst escalates the whole set.
+	mk := func(n int) []*PlannedBurst {
+		plan := make([]*PlannedBurst, n)
+		for i := range plan {
+			plan[i] = mkBurst(i, 10*sim.Millisecond+sim.Time(i)*10*sim.Microsecond, bigVol, false, 8)
+		}
+		return plan
+	}
+	below := mk(cfg.Depth - 1)
+	Detect(below, cfg)
+	for i, b := range below {
+		if b.Packet {
+			t.Errorf("below-depth burst %d marked packet", i)
+		}
+	}
+	at := mk(cfg.Depth)
+	Detect(at, cfg)
+	for i, b := range at {
+		if !b.Packet {
+			t.Errorf("at-depth burst %d not packet", i)
+		}
+	}
+}
+
+func TestDetectSubcriticalNeverPacket(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	// Tiny bursts below the rate threshold can never register as bursty;
+	// they neither join nor trigger episodes even under heavy overlap.
+	plan := []*PlannedBurst{
+		mkBurst(0, 10*sim.Millisecond, 10_000, false, 4),
+		mkBurst(0, 10*sim.Millisecond+10*sim.Microsecond, 10_000, false, 4),
+		mkBurst(1, 10*sim.Millisecond, 10_000, true, 56),
+	}
+	for i, b := range plan {
+		if !b.Subcritical {
+			t.Fatalf("test setup: burst %d not subcritical", i)
+		}
+	}
+	if eps := Detect(plan, cfg); len(eps) != 0 {
+		t.Fatalf("subcritical bursts produced %d episodes", len(eps))
+	}
+}
+
+func TestDetectDeterministicAcrossOrder(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	// The plan arrives in per-server order from the driver; Detect must
+	// produce identical flags regardless of slice order (workers build plans
+	// rack-locally, so any order sensitivity would leak scheduling into the
+	// dataset).
+	build := func() []*PlannedBurst {
+		return []*PlannedBurst{
+			mkBurst(0, 10*sim.Millisecond, bigVol, false, 8),
+			mkBurst(1, 10500*sim.Microsecond, bigVol, false, 8),
+			mkBurst(0, 11*sim.Millisecond, bigVol, false, 8),
+			mkBurst(2, 30*sim.Millisecond, bigVol, true, 56),
+			mkBurst(3, 30200*sim.Microsecond, bigVol, false, 8),
+			mkBurst(4, 60*sim.Millisecond, bigVol, false, 8),
+		}
+	}
+	fwd := build()
+	Detect(fwd, cfg)
+	rev := build()
+	revView := make([]*PlannedBurst, len(rev))
+	for i := range rev {
+		revView[i] = rev[len(rev)-1-i]
+	}
+	Detect(revView, cfg)
+	for i := range fwd {
+		if fwd[i].Packet != rev[i].Packet {
+			t.Errorf("burst %d: packet=%v forward but %v reversed", i, fwd[i].Packet, rev[i].Packet)
+		}
+	}
+}
+
+func TestDrawBurstsDeterministic(t *testing.T) {
+	prof := workload.Profile{BurstsPerSec: 20, VolumeMedian: 1.4e6, VolumeSigma: 0.75, FanIn: 12}
+	a := workload.DrawBursts(prof, sim.Second, sim.NewRNG(7).Fork(3))
+	b := workload.DrawBursts(prof, sim.Second, sim.NewRNG(7).Fork(3))
+	if len(a) == 0 {
+		t.Fatal("no bursts drawn")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("draw lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// ---- fluid queue walker ----
+
+func TestWalkConservesBytes(t *testing.T) {
+	const drain = 1.5625e9 // 12.5 Gb/s in bytes/s
+	deltas := []rateDelta{
+		{at: 0, bps: 0.3 * drain}, {at: 100 * sim.Millisecond, bps: -0.3 * drain}, // background
+		{at: 20 * sim.Millisecond, bps: drain}, {at: 22 * sim.Millisecond, bps: -drain}, // burst
+	}
+	w := walk(deltas, drain, 100*sim.Millisecond, 10*sim.Millisecond, sim.Millisecond, 50)
+	in := 0.3*drain*0.1 + drain*0.002
+	got := w.pre + w.post
+	for _, v := range w.out {
+		got += v
+	}
+	if relDiff := math.Abs(got-in) / in; relDiff > 1e-6 {
+		t.Fatalf("walker lost bytes: in %.0f out %.0f", in, got)
+	}
+	// The burst overlaps background, so arrivals exceed the drain rate and
+	// some of its bytes defer past the nominal 2 ms: backlog must be seen.
+	if w.peak <= 0 {
+		t.Error("overlapping burst produced no backlog")
+	}
+}
+
+func TestWalkBinsToGrid(t *testing.T) {
+	const drain = 1e9
+	// A sub-drain trickle entirely inside bucket 5.
+	deltas := []rateDelta{
+		{at: 15 * sim.Millisecond, bps: 0.5 * drain},
+		{at: 16 * sim.Millisecond, bps: -0.5 * drain},
+	}
+	w := walk(deltas, drain, 100*sim.Millisecond, 10*sim.Millisecond, sim.Millisecond, 20)
+	for k, v := range w.out {
+		if k == 5 {
+			want := 0.5 * drain * 0.001
+			if math.Abs(v-want) > 1 {
+				t.Errorf("bucket 5 = %.0f, want %.0f", v, want)
+			}
+			continue
+		}
+		if v != 0 {
+			t.Errorf("bucket %d = %.0f, want 0", k, v)
+		}
+	}
+	if w.pre != 0 || w.post != 0 {
+		t.Errorf("pre=%.0f post=%.0f, want 0", w.pre, w.post)
+	}
+	if w.peak != 0 {
+		t.Errorf("sub-drain trickle produced backlog %.0f", w.peak)
+	}
+}
+
+func TestWalkPreAndPost(t *testing.T) {
+	const drain = 1e9
+	deltas := []rateDelta{
+		{at: 0, bps: 0.25 * drain},
+		{at: 40 * sim.Millisecond, bps: -0.25 * drain},
+	}
+	w := walk(deltas, drain, 40*sim.Millisecond, 10*sim.Millisecond, sim.Millisecond, 20)
+	// 10 ms of trickle drains before the grid opens (10-30 ms), 10 ms after.
+	want := 0.25 * drain * 0.010
+	if math.Abs(w.pre-want) > 1 {
+		t.Errorf("pre = %.0f, want %.0f", w.pre, want)
+	}
+	if math.Abs(w.post-want) > 1 {
+		t.Errorf("post = %.0f, want %.0f", w.post, want)
+	}
+}
+
+// TestZeroLoadRackStaysFluid runs a whole rack whose servers draw no bursts:
+// the detector must never trip, and the run must still collect cleanly with
+// every sample zero.
+func TestZeroLoadRackStaysFluid(t *testing.T) {
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 4, Remotes: 8, Seed: 11})
+	profiles := make([]workload.Profile, 4)
+	for i := range profiles {
+		profiles[i] = workload.Profile{Name: "idle", FanIn: 2}
+	}
+	res, err := SimulateRack(rack, profiles, rack.RNG.Fork(0x10AD), Config{
+		Sampler: core.Config{Interval: sim.Millisecond, Buckets: 50, CountFlows: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PacketBursts != 0 || res.Stats.Episodes != 0 {
+		t.Errorf("zero-load rack tripped the detector: %+v", res.Stats)
+	}
+	if res.Sync == nil {
+		t.Fatal("no aligned run")
+	}
+	for _, sr := range res.Sync.Servers {
+		for i, v := range sr.In {
+			if v != 0 {
+				t.Fatalf("server %d sample %d = %g, want 0", sr.Port, i, v)
+			}
+		}
+	}
+}
+
+// TestHybridRackSmoke runs one busy mixed rack end to end on the hybrid path
+// and sanity-checks the outputs the analysis consumes.
+func TestHybridRackSmoke(t *testing.T) {
+	rack := testbed.NewRack(testbed.RackConfig{Servers: 8, Remotes: 32, Seed: 42})
+	profiles := make([]workload.Profile, 8)
+	for i := range profiles {
+		profiles[i] = workload.Catalog[i%len(workload.Catalog)].Profile.Scale(1.3)
+	}
+	res, err := SimulateRack(rack, profiles, rack.RNG.Fork(0x10AD), Config{
+		Sampler: core.Config{Interval: sim.Millisecond, Buckets: 200, CountFlows: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FluidBursts == 0 {
+		t.Error("busy rack ran everything packet-level (fluid path untested)")
+	}
+	var total float64
+	for _, sr := range res.Sync.Servers {
+		for _, v := range sr.In {
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Fatal("hybrid run recorded no ingress bytes")
+	}
+	d := res.After
+	d.EnqueuedBytes -= res.Before.EnqueuedBytes
+	if d.EnqueuedBytes <= 0 {
+		t.Errorf("switch counters did not move: %+v", d)
+	}
+	if res.PeakQueueBytes <= 0 {
+		t.Error("no peak queue estimate")
+	}
+}

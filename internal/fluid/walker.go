@@ -1,0 +1,121 @@
+package fluid
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// rateDelta is a piecewise-constant change of a fluid arrival rate.
+type rateDelta struct {
+	at  sim.Time
+	bps float64 // delta in bytes per second (signed)
+}
+
+// walkResult is the drained traffic of one fluid queue binned onto the
+// sampling grid.
+type walkResult struct {
+	out  []float64 // drained bytes per bucket, len == buckets
+	pre  float64   // drained before the grid opened (warmup)
+	post float64   // drained after the grid closed (collection grace)
+	peak float64   // peak fluid backlog in bytes
+}
+
+// total returns the bytes drained inside and after the grid — the span the
+// switch's counter delta covers (warmup is excluded; the full-fidelity path
+// snapshots counters at window open).
+func (w *walkResult) total() float64 {
+	t := w.post
+	for _, v := range w.out {
+		t += v
+	}
+	return t
+}
+
+// walk advances a single fluid queue draining at drainBps through the
+// arrival-rate deltas over [0, end), binning drained bytes into the grid
+// [gridStart, gridStart+interval*buckets). The queue carries backlog across
+// bucket and rate boundaries, so arrivals exceeding the drain rate (a burst
+// landing on top of background load, or back-to-back bursts) are deferred
+// exactly as a work-conserving egress queue would defer them.
+func walk(deltas []rateDelta, drainBps float64, end, gridStart, interval sim.Time, buckets int) walkResult {
+	res := walkResult{out: make([]float64, buckets)}
+	if drainBps <= 0 || end <= 0 {
+		return res
+	}
+	sort.Slice(deltas, func(a, b int) bool { return deltas[a].at < deltas[b].at })
+
+	bin := func(t sim.Time, bytes float64) {
+		if bytes <= 0 {
+			return
+		}
+		switch {
+		case t < gridStart:
+			res.pre += bytes
+		case t >= gridStart+interval*sim.Time(buckets):
+			res.post += bytes
+		default:
+			res.out[int((t-gridStart)/interval)] += bytes
+		}
+	}
+
+	// nextBoundary returns the earliest of: next rate change, next bucket
+	// edge, end — so each step has constant arrival rate and a single bin.
+	di := 0
+	arrival := 0.0
+	backlog := 0.0
+	now := sim.Time(0)
+	for now < end {
+		for di < len(deltas) && deltas[di].at <= now {
+			arrival += deltas[di].bps
+			di++
+		}
+		next := end
+		if di < len(deltas) && deltas[di].at < next {
+			next = deltas[di].at
+		}
+		if now < gridStart {
+			if gridStart < next {
+				next = gridStart
+			}
+		} else {
+			gridEnd := gridStart + interval*sim.Time(buckets)
+			if now < gridEnd {
+				edge := gridStart + interval*sim.Time((now-gridStart)/interval+1)
+				if edge < next {
+					next = edge
+				}
+			}
+		}
+		if next <= now {
+			// Defensive: zero-length step (coincident boundaries).
+			now = next + 1
+			continue
+		}
+		dt := (next - now).Seconds()
+		switch {
+		case backlog <= 0 && arrival <= drainBps:
+			// Queue stays empty: output follows arrivals.
+			bin(now, arrival*dt)
+		case arrival >= drainBps:
+			// Queue grows (or holds): output at full drain rate.
+			bin(now, drainBps*dt)
+			backlog += (arrival - drainBps) * dt
+		default:
+			// Queue shrinking; it may empty inside the step.
+			tEmpty := backlog / (drainBps - arrival)
+			if tEmpty >= dt {
+				bin(now, drainBps*dt)
+				backlog -= (drainBps - arrival) * dt
+			} else {
+				bin(now, drainBps*tEmpty+arrival*(dt-tEmpty))
+				backlog = 0
+			}
+		}
+		if backlog > res.peak {
+			res.peak = backlog
+		}
+		now = next
+	}
+	return res
+}

@@ -1,0 +1,103 @@
+// Package prof wires Go's CPU, heap, and execution-trace profilers into a
+// CLI: the three standard flags (-cpuprofile, -memprofile, -trace), one Start
+// call after flag.Parse, one deferred Stop before exit. It exists so every
+// binary in cmd/ exposes the same profiling surface without each main
+// re-implementing the open/start/stop/write dance.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the registered flag values.
+type Flags struct {
+	CPU  *string
+	Mem  *string
+	Trce *string
+}
+
+// AddFlags registers -cpuprofile, -memprofile, and -trace on the flag set.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPU:  fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem:  fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		Trce: fs.String("trace", "", "write an execution trace to this file"),
+	}
+}
+
+// Session is an in-flight profiling session; Stop finishes it.
+type Session struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// Start begins whichever profilers the flags requested. It returns an error
+// instead of exiting so the caller controls the failure path; a nil *Flags
+// starts nothing.
+func (f *Flags) Start() (*Session, error) {
+	if f == nil {
+		return &Session{}, nil
+	}
+	s := &Session{memPath: *f.Mem}
+	if *f.CPU != "" {
+		file, err := os.Create(*f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = file
+	}
+	if *f.Trce != "" {
+		file, err := os.Create(*f.Trce)
+		if err != nil {
+			s.Stop()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(file); err != nil {
+			file.Close()
+			s.Stop()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		s.traceFile = file
+	}
+	return s, nil
+}
+
+// Stop flushes and closes every active profiler. Safe to call on a partially
+// started (or nil) session, and idempotent.
+func (s *Session) Stop() {
+	if s == nil {
+		return
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		s.traceFile.Close()
+		s.traceFile = nil
+	}
+	if s.memPath != "" {
+		if file, err := os.Create(s.memPath); err == nil {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(file); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			file.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		s.memPath = ""
+	}
+}

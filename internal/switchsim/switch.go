@@ -462,6 +462,26 @@ func (s *Switch) PeakQueueBytes() int {
 	return peak
 }
 
+// AccountFluid credits traffic the fluid model carried through port p's
+// egress queue. Only counters move: occupancy, DT pool state, and drain
+// events are untouched, because fluid traffic has conceptually already left
+// the queue by the time it is accounted. PeakBytes raises the queue's peak
+// if the fluid backlog estimate exceeds what the packet path observed.
+func (s *Switch) AccountFluid(p int, st QueueStats) {
+	if p < 0 || p >= len(s.queues) {
+		return
+	}
+	q := s.queues[p]
+	q.stats.EnqueuedBytes += st.EnqueuedBytes
+	q.stats.EnqueuedSegments += st.EnqueuedSegments
+	q.stats.DequeuedBytes += st.DequeuedBytes
+	q.stats.ECNMarkedBytes += st.ECNMarkedBytes
+	q.stats.ECNMarkedSegs += st.ECNMarkedSegs
+	if st.PeakBytes > q.stats.PeakBytes {
+		q.stats.PeakBytes = st.PeakBytes
+	}
+}
+
 // Totals sums the per-queue stats switch-wide.
 func (s *Switch) Totals() QueueStats {
 	var t QueueStats

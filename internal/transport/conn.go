@@ -160,6 +160,15 @@ func (c *Conn) Established() bool { return c.established }
 // CC exposes the congestion controller (read-mostly, for tests/analysis).
 func (c *Conn) CC() CongestionControl { return c.cc }
 
+// Prime drives the congestion controller to the given equilibrium window
+// (see EquilibriumWindow) without simulating warmup traffic. Controllers
+// without priming support are left untouched.
+func (c *Conn) Prime(w int64) {
+	if p, ok := c.cc.(interface{ Prime(int64) }); ok {
+		p.Prime(w)
+	}
+}
+
 // Pending returns queued-but-unsent payload bytes.
 func (c *Conn) Pending() int64 { return c.pending }
 

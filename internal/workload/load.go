@@ -56,8 +56,7 @@ func Install(rack *testbed.Rack, server int, prof Profile, rng *sim.RNG) *Server
 	// (every production host keeps many half-idle connections alive), so
 	// the per-sample connection estimate outside bursts is several, not
 	// one — the paper's Fig 8 baseline.
-	const bgPool = 5
-	for i := 0; i < bgPool; i++ {
+	for i := 0; i < BackgroundPoolSize; i++ {
 		l.bgConns = append(l.bgConns, l.pickRemote().Connect(dst, 81, transport.Options{}))
 	}
 	rate := rack.Servers[server].LineRateBps()

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// BurstEvent is one scheduled burst of a profile's Poisson process: the fire
+// instant and the payload volume drawn for it.
+type BurstEvent struct {
+	At     sim.Time
+	Volume float64
+}
+
+// DrawBursts pre-draws a profile's burst process over [0, span): exponential
+// inter-arrivals at mean 1/BurstsPerSec and log-normal volumes, the same
+// distributions (and the same per-fire draw order) ServerLoad realizes live.
+// A pre-drawn schedule is therefore exchangeable with the live process, which
+// is what gives the hybrid-fidelity burst detector its lookahead: the whole
+// window's bursts are known before the engine runs.
+func DrawBursts(prof Profile, span sim.Time, rng *sim.RNG) []BurstEvent {
+	if prof.BurstsPerSec <= 0 {
+		return nil
+	}
+	mean := sim.Time(float64(sim.Second) / prof.BurstsPerSec)
+	var out []BurstEvent
+	for t := rng.ExpTime(mean); t < span; t += rng.ExpTime(mean) {
+		out = append(out, BurstEvent{
+			At:     t,
+			Volume: rng.LogNormal(math.Log(prof.VolumeMedian), prof.VolumeSigma),
+		})
+	}
+	return out
+}
+
+// BackgroundBytesPerSec returns the profile's smooth offered load in payload
+// bytes per second against a line rate — the per-host rate the fluid model
+// advances quiet intervals with.
+func (p Profile) BackgroundBytesPerSec(lineRateBps int64) float64 {
+	return p.BackgroundUtil * float64(lineRateBps) / 8
+}
+
+// BackgroundPoolSize is the number of persistent connections background
+// chatter rides on (see Install); exported so the fluid model can mirror the
+// per-bucket connection-count baseline without dialing them.
+const BackgroundPoolSize = 5
+
+// BackgroundTick is the pacing quantum of smooth background traffic.
+const BackgroundTick = backgroundTick
