@@ -35,6 +35,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/fleet"
 	"repro/internal/prof"
+	"repro/internal/sim"
 	"repro/internal/switchsim"
 	"repro/internal/trace"
 )
@@ -48,9 +49,10 @@ func main() {
 	buckets := flag.Int("buckets", 0, "override sampler buckets per run")
 	hours := flag.String("hours", "", "override sampled hours, e.g. 0,6,12,18")
 	workers := flag.Int("workers", 0, "override generation parallelism")
-	policy := flag.String("policy", "", "counterfactual sharing policy: dt, static, or complete")
-	alpha := flag.Float64("alpha", 0, "counterfactual DT alpha (requires -policy)")
-	ecn := flag.Int("ecn", 0, "counterfactual ECN marking threshold in bytes (requires -policy)")
+	policy := flag.String("policy", "", "counterfactual sharing policy: dt, static, complete, bshare, or abm")
+	alpha := flag.Float64("alpha", 0, "counterfactual DT/ABM alpha (requires -policy)")
+	ecn := flag.Int("ecn", 0, "counterfactual ECN marking threshold in bytes, -1 disables marking (requires -policy)")
+	bshareDelay := flag.Duration("bshare-delay", 0, "counterfactual BShare delay budget, e.g. 100us (requires -policy bshare)")
 	distributed := flag.String("distributed", "", "coordinator URL: submit the generation as a distributed job instead of running locally")
 	fidelity := flag.String("fidelity", "", "simulation fidelity: full (default, byte-exact) or hybrid (fluid fast path)")
 	profFlags := prof.AddFlags(flag.CommandLine)
@@ -113,8 +115,8 @@ func main() {
 		}
 		cfg.Fidelity = fid
 	}
-	if *policy == "" && (*alpha != 0 || *ecn != 0) {
-		fmt.Fprintln(os.Stderr, "fleetgen: -alpha/-ecn need -policy (use -policy dt for baseline-style sharing)")
+	if *policy == "" && (*alpha != 0 || *ecn != 0 || *bshareDelay != 0) {
+		fmt.Fprintln(os.Stderr, "fleetgen: -alpha/-ecn/-bshare-delay need -policy (use -policy dt for baseline-style sharing)")
 		os.Exit(1)
 	}
 	if *policy != "" {
@@ -123,7 +125,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fleetgen:", err)
 			os.Exit(1)
 		}
-		cfg.Switch = fleet.SwitchOverride{Policy: p, Alpha: *alpha, ECNThreshold: *ecn}
+		cfg.Switch = fleet.SwitchOverride{
+			Policy: p, Alpha: *alpha, ECNThreshold: *ecn,
+			BShareDelay: sim.Time(*bshareDelay),
+		}
 		fmt.Fprintf(os.Stderr, "fleetgen: counterfactual switch config: %s\n", cfg.Switch)
 	}
 	if err := cfg.WithDefaults().Validate(); err != nil {

@@ -13,8 +13,8 @@
 //
 // Usage:
 //
-//	sweep -preset smoke -o sweep.out            # 2-point sanity sweep
-//	sweep -preset demo -o sweep.out -md W.md    # 14-point policy/alpha/ECN grid
+//	sweep -preset smoke -o sweep.out            # 4-point sanity sweep
+//	sweep -preset demo -o sweep.out -md W.md    # 26-point policy/alpha/ECN grid
 //	sweep -spec my.json -o sweep.out            # declarative spec (JSON)
 //	sweep -spec my.json -o sweep.out -plan      # print the grid, run nothing
 package main
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	specPath := flag.String("spec", "", "sweep spec JSON (see -preset for built-ins)")
-	preset := flag.String("preset", "", "built-in spec: smoke (2 points) or demo (14 points)")
+	preset := flag.String("preset", "", "built-in spec: smoke (4 points) or demo (26 points)")
 	out := flag.String("o", "sweep.out", "result directory (resumable)")
 	workers := flag.Int("workers", 0, "override simulation parallelism")
 	maxPoints := flag.Int("max-points", 0, "stop after N new points (installment execution)")
@@ -215,8 +215,9 @@ func resolveSpec(path, preset string) (sweep.Spec, error) {
 	}
 }
 
-// SmokeSpec is the 2-point CI sweep: baseline vs complete-sharing over a
-// minimal fleet — enough to exercise the full engine path in seconds.
+// SmokeSpec is the 4-point CI sweep: baseline vs complete-sharing, BShare,
+// and ABM over a minimal fleet — enough to exercise the full engine path,
+// including both policies that force full packet fidelity, in seconds.
 func SmokeSpec() sweep.Spec {
 	return sweep.Spec{
 		Name: "smoke",
@@ -227,14 +228,16 @@ func SmokeSpec() sweep.Spec {
 			Hours:          []int{6},
 			Buckets:        300,
 		},
-		Policies: []switchsim.Policy{switchsim.PolicyComplete},
+		Policies: []switchsim.Policy{
+			switchsim.PolicyComplete, switchsim.PolicyBShare, switchsim.PolicyABM,
+		},
 	}
 }
 
-// DemoSpec is the 14-point §9 grid: five DT alphas at two ECN thresholds
-// plus the static and complete-sharing disciplines, over a fleet just large
-// enough that the RegA top-contention quintile is populated (5 RegA racks ->
-// 1 RegA-High).
+// DemoSpec is the 26-point §9 grid: five DT and ABM alphas at two ECN
+// thresholds plus the static, complete-sharing, and BShare disciplines, over
+// a fleet just large enough that the RegA top-contention quintile is
+// populated (5 RegA racks -> 1 RegA-High).
 func DemoSpec() sweep.Spec {
 	return sweep.Spec{
 		Name: "demo",
@@ -245,7 +248,7 @@ func DemoSpec() sweep.Spec {
 			Hours:          []int{6},
 			Buckets:        400,
 		},
-		Policies:      []switchsim.Policy{switchsim.PolicyDT, switchsim.PolicyStatic, switchsim.PolicyComplete},
+		Policies:      switchsim.KnownPolicies(),
 		Alphas:        []float64{0.5, 1, 2, 4, 8},
 		ECNThresholds: []int{0, 60 << 10},
 	}

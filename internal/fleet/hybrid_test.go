@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/switchsim"
 )
 
 // headline reduces a dataset to the paper's headline statistics: burst
@@ -129,7 +131,10 @@ func TestHybridEquivalence(t *testing.T) {
 	check("bursts/sec (Fig 6)", fh.BurstsPerSec, hh.BurstsPerSec, 0.10)
 	check("burst len (Fig 7)", fh.MeanBurstLen, hh.MeanBurstLen, 0.25)
 	check("burst volume (Fig 7)", fh.MeanVolume, hh.MeanVolume, 0.15)
-	check("burst conns (Fig 8)", fh.MeanConns, hh.MeanConns, 0.25)
+	// Conns ride the background pool's tick-granular crediting; since the
+	// fluid path models that granularity the measured error is ~0.5%, and the
+	// 5% gate keeps it an order of magnitude tighter than it used to be.
+	check("burst conns (Fig 8)", fh.MeanConns, hh.MeanConns, 0.05)
 	check("avg contention (Fig 9)", fh.AvgContention, hh.AvgContention, 0.25)
 	check("p90 contention (Fig 9)", fh.P90Contention, hh.P90Contention, 0.25)
 	// Loss is a rare event on the small preset (a handful of lossy bursts in
@@ -146,6 +151,49 @@ func TestHybridEquivalence(t *testing.T) {
 	}
 	if fh.DropShare > 0 && hh.DropShare == 0 {
 		t.Errorf("hybrid lost all switch discards (full drop share %.4g)", fh.DropShare)
+	}
+}
+
+// TestHybridForcedFullEquivalence pins the fidelity contract for overrides
+// the fluid model cannot represent: under BShare, ABM, or ECN-off, a
+// hybrid-fidelity generation must silently take the full packet path and
+// produce a byte-identical dataset — not a fluid approximation of a policy
+// the accountant doesn't model.
+func TestHybridForcedFullEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates six small datasets")
+	}
+	for _, o := range []SwitchOverride{
+		{Policy: switchsim.PolicyBShare},
+		{Policy: switchsim.PolicyABM},
+		{ECNThreshold: switchsim.ECNOff},
+	} {
+		cfg := SmallConfig()
+		cfg.KeepExamples = false
+		cfg.RacksPerRegion = 2
+		cfg.Hours = []int{6}
+		cfg.Switch = o
+
+		full, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s full: %v", o, err)
+		}
+		cfg.Fidelity = FidelityHybrid
+		hyb, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s hybrid: %v", o, err)
+		}
+		fd, err := full.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hd, err := hyb.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd != hd {
+			t.Errorf("%s: hybrid digest %s != full %s (fluid path ran for an unmodeled override)", o, hd, fd)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/switchsim"
 )
 
@@ -15,11 +16,14 @@ type SwitchOverride struct {
 	// Policy selects the shared-buffer admission discipline. The zero value
 	// is PolicyDT, the production policy.
 	Policy switchsim.Policy `json:"policy,omitempty"`
-	// Alpha overrides the DT parameter (0 keeps the default 1).
+	// Alpha overrides the DT/ABM parameter (0 keeps the default 1).
 	Alpha float64 `json:"alpha,omitempty"`
 	// ECNThreshold overrides the static per-queue marking threshold in bytes
-	// (0 keeps the default 120 KB).
+	// (0 keeps the default 120 KB; switchsim.ECNOff disables marking).
 	ECNThreshold int `json:"ecn_threshold,omitempty"`
+	// BShareDelay overrides the BShare per-queue delay budget (0 keeps the
+	// default 200 us). Ignored by the other policies.
+	BShareDelay sim.Time `json:"bshare_delay,omitempty"`
 	// TotalBuffer overrides the packet buffer size in bytes (0 keeps 16 MB).
 	TotalBuffer int `json:"total_buffer,omitempty"`
 	// DedicatedPerQueue overrides each queue's reserve outside the shared
@@ -40,6 +44,9 @@ func (o SwitchOverride) Apply(base switchsim.Config) switchsim.Config {
 	}
 	if o.ECNThreshold != 0 {
 		base.ECNThreshold = o.ECNThreshold
+	}
+	if o.BShareDelay != 0 {
+		base.BShareDelayTarget = o.BShareDelay
 	}
 	if o.TotalBuffer != 0 {
 		base.TotalBuffer = o.TotalBuffer
@@ -63,20 +70,41 @@ func (o SwitchOverride) Validate(ports int) error {
 	return nil
 }
 
+// HybridCompatible reports whether the hybrid fast path may generate under
+// this override. The fluid accountant bakes in DT-shaped buffer sharing and
+// default-on ECN; BShare and ABM reshape admission (and ECN-off reshapes the
+// transport feedback loop) in ways it does not model, so those points force
+// full packet fidelity instead of silently blending two disagreeing models.
+func (o SwitchOverride) HybridCompatible() bool {
+	switch o.Policy {
+	case switchsim.PolicyDT, switchsim.PolicyStatic, switchsim.PolicyComplete:
+		return o.ECNThreshold != switchsim.ECNOff
+	default:
+		return false
+	}
+}
+
 // String renders the override compactly for progress lines and point labels.
 func (o SwitchOverride) String() string {
 	if o.IsZero() {
 		return "baseline"
 	}
 	s := o.Policy.String()
-	if o.Policy == switchsim.PolicyDT {
+	if o.Policy == switchsim.PolicyDT || o.Policy == switchsim.PolicyABM {
 		a := o.Alpha
 		if a == 0 {
 			a = 1
 		}
-		s = fmt.Sprintf("dt a=%g", a)
+		s = fmt.Sprintf("%s a=%g", map[switchsim.Policy]string{
+			switchsim.PolicyDT: "dt", switchsim.PolicyABM: "abm",
+		}[o.Policy], a)
 	}
-	if o.ECNThreshold != 0 {
+	if o.Policy == switchsim.PolicyBShare && o.BShareDelay != 0 {
+		s += fmt.Sprintf(" d=%v", o.BShareDelay)
+	}
+	if o.ECNThreshold == switchsim.ECNOff {
+		s += " ecn=off"
+	} else if o.ECNThreshold != 0 {
 		s += fmt.Sprintf(" ecn=%dK", o.ECNThreshold>>10)
 	}
 	if o.TotalBuffer != 0 {

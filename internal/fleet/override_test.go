@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/switchsim"
 )
 
@@ -71,5 +72,56 @@ func TestSwitchOverrideString(t *testing.T) {
 	o := SwitchOverride{Alpha: 2, ECNThreshold: 60 << 10}
 	if s := o.String(); !strings.Contains(s, "a=2") || !strings.Contains(s, "ecn=60K") {
 		t.Errorf("String() = %q", s)
+	}
+	o = SwitchOverride{Policy: switchsim.PolicyABM, Alpha: 4}
+	if s := o.String(); !strings.Contains(s, "abm") || !strings.Contains(s, "a=4") {
+		t.Errorf("ABM String() = %q", s)
+	}
+	o = SwitchOverride{Policy: switchsim.PolicyBShare, BShareDelay: 100 * sim.Microsecond}
+	if s := o.String(); !strings.Contains(s, "bshare") || !strings.Contains(s, "100µs") {
+		t.Errorf("BShare String() = %q", s)
+	}
+	o = SwitchOverride{ECNThreshold: switchsim.ECNOff}
+	if s := o.String(); !strings.Contains(s, "ecn=off") {
+		t.Errorf("ECNOff String() = %q", s)
+	}
+}
+
+func TestSwitchOverrideApplyBShareAndECNOff(t *testing.T) {
+	base := switchsim.DefaultConfig(48)
+	o := SwitchOverride{Policy: switchsim.PolicyBShare, BShareDelay: 100 * sim.Microsecond}
+	got := o.Apply(base)
+	if got.Policy != switchsim.PolicyBShare || got.BShareDelayTarget != 100*sim.Microsecond {
+		t.Errorf("bshare override not applied: %+v", got)
+	}
+	// The ECNOff sentinel must pass through Apply (it is non-zero) and
+	// Validate so "marking disabled" is an expressible counterfactual.
+	o = SwitchOverride{ECNThreshold: switchsim.ECNOff}
+	if got := o.Apply(base); got.ECNThreshold != switchsim.ECNOff {
+		t.Errorf("ECNOff override lost: ECNThreshold = %d", got.ECNThreshold)
+	}
+	if err := o.Validate(48); err != nil {
+		t.Errorf("ECNOff override rejected: %v", err)
+	}
+}
+
+func TestHybridCompatible(t *testing.T) {
+	cases := []struct {
+		o    SwitchOverride
+		want bool
+	}{
+		{SwitchOverride{}, true},
+		{SwitchOverride{Policy: switchsim.PolicyDT, Alpha: 4}, true},
+		{SwitchOverride{Policy: switchsim.PolicyStatic}, true},
+		{SwitchOverride{Policy: switchsim.PolicyComplete}, true},
+		{SwitchOverride{Policy: switchsim.PolicyBShare}, false},
+		{SwitchOverride{Policy: switchsim.PolicyABM}, false},
+		{SwitchOverride{ECNThreshold: switchsim.ECNOff}, false},
+		{SwitchOverride{Policy: switchsim.PolicyStatic, ECNThreshold: switchsim.ECNOff}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.o.HybridCompatible(); got != tc.want {
+			t.Errorf("%s: HybridCompatible() = %v, want %v", tc.o, got, tc.want)
+		}
 	}
 }

@@ -55,7 +55,10 @@ func (c SwitchCounters) asDelta() SwitchDelta {
 // when non-zero and through the exact historical path when zero.
 func SimulateRunFull(cfg Config, spec RackSpec, hour int) (*core.SyncRun, SwitchCounters, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Fidelity == FidelityHybrid {
+	// Overrides the fluid model cannot represent (BShare, ABM, ECN off)
+	// silently fall back to full packet fidelity: the dataset stays correct
+	// and the digest stays a pure function of the config either way.
+	if cfg.Fidelity == FidelityHybrid && cfg.Switch.HybridCompatible() {
 		return simulateRunHybrid(cfg, spec, hour)
 	}
 	rcfg := testbed.RackConfig{

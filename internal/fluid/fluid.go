@@ -58,8 +58,9 @@ type serverState struct {
 	next       int // round-robin cursor, as in ServerLoad
 
 	bgHashes  []uint64
-	bgWireBps float64 // background wire bytes/s
-	bgSegBps  float64 // background segments/s
+	bgWireBps float64  // background wire bytes/s
+	bgSegBps  float64  // background segments/s
+	bgPhase   sim.Time // first background tick, mirroring ServerLoad's desync draw
 
 	plan []*PlannedBurst
 	// freshPicks/freshHashes index plan: remote endpoints pre-drawn for
@@ -157,6 +158,14 @@ func SimulateRack(rack *testbed.Rack, profiles []workload.Profile, rng *sim.RNG,
 				}
 				st.freshPicks[bi] = picks
 			}
+		}
+		if st.bgWireBps > 0 {
+			// The background pool transmits only at its 2 ms pacing ticks, so
+			// its connections appear in roughly every other 1 ms sample — not
+			// all of them. Drawing the tick phase here (after the burst
+			// schedule, so the plan is unchanged) lets the fluid accountant
+			// credit the pool's hashes with the same tick granularity.
+			st.bgPhase = sim.Time(srng.Int63n(int64(workload.BackgroundTick)))
 		}
 		states[i] = st
 	}
@@ -294,7 +303,13 @@ func applyFluid(rack *testbed.Rack, s *core.Sampler, st *serverState, port int,
 		}
 		s.AccountBulk(core.CtrIn, k, uint64(v+0.5))
 		s.AccountBulk(core.CtrOut, k, uint64(v*ackPerByte+0.5))
-		if len(st.bgHashes) > 0 {
+		// The background transport pool is reused tick to tick, so its
+		// connections register only in samples containing a pacing tick —
+		// crediting every output bucket would overstate conns-in-burst by
+		// ~BackgroundPoolSize/2 (the hybrid path's former worst headline
+		// error, 18% on Fig 8).
+		if len(st.bgHashes) > 0 && st.bgWireBps > 0 &&
+			bgTickInBucket(st.bgPhase, warmup+sim.Time(k)*interval, interval) {
 			s.AccountConns(k, st.bgHashes)
 		}
 	}
@@ -357,6 +372,20 @@ func applyFluid(rack *testbed.Rack, s *core.Sampler, st *serverState, port int,
 		})
 	}
 	return peak
+}
+
+// bgTickInBucket reports whether a background pacing tick (first at phase,
+// then every workload.BackgroundTick) lands inside [start, start+interval).
+func bgTickInBucket(phase, start, interval sim.Time) bool {
+	if start+interval <= phase {
+		return false
+	}
+	off := (start - phase) % workload.BackgroundTick
+	if off < 0 {
+		off += workload.BackgroundTick
+	}
+	next := (workload.BackgroundTick - off) % workload.BackgroundTick
+	return next < interval
 }
 
 // syntheticHashes fabricates sketch hashes for a fresh fluid burst's fan-in:

@@ -10,11 +10,12 @@ import (
 )
 
 // Report renders a completed sweep as experiment results: the full what-if
-// grid with per-point deltas against the baseline, and the loss-vs-alpha
-// view per contention class — the paper's §9 question ("would a different
-// alpha have helped this rack class?") answered from simulation.
+// grid with per-point deltas against the baseline, the loss-vs-alpha view
+// per contention class, and the sharing-policy comparison per contention
+// class — the paper's §9 question ("would a different sharing configuration
+// have helped this rack class?") answered from simulation.
 func Report(res *Result) []*experiments.Result {
-	return []*experiments.Result{gridResult(res), alphaResult(res)}
+	return []*experiments.Result{gridResult(res), alphaResult(res), policyResult(res)}
 }
 
 // gridResult is the per-point table: every counterfactual next to the
@@ -86,6 +87,62 @@ func alphaResult(res *Result) *experiments.Result {
 	r.Notef("classes are fixed by the baseline's busy-hour contention, so every alpha compares the same racks")
 	r.Notef("paper §9: high-contention racks lose DT share to neighbors — the best alpha depends on the contention regime")
 	return r
+}
+
+// policyResult is the policy-zoo table: one row per sharing discipline swept
+// (at default knobs), the baseline standing in for DT, one column pair per
+// baseline contention class — §9's "which discipline suits which regime".
+func policyResult(res *Result) *experiments.Result {
+	classes := classNames(res)
+	header := []string{"policy", "loss%", "Δloss(pp)"}
+	for _, c := range classes {
+		header = append(header, c+" loss%", c+" Δ(pp)")
+	}
+	r := &experiments.Result{
+		ID:     "whatif-policy",
+		Title:  "Loss per sharing policy per contention class (§9)",
+		Header: header,
+	}
+
+	base := res.Baseline()
+	for _, pol := range switchsim.KnownPolicies() {
+		p := findPolicyPoint(res, pol)
+		if p == nil {
+			continue
+		}
+		row := []string{
+			pol.String(),
+			fmt.Sprintf("%.3f", p.Total.LossPct()),
+			fmt.Sprintf("%+.3f", p.Total.LossPct()-base.Total.LossPct()),
+		}
+		for _, c := range classes {
+			t := p.Classes[c]
+			row = append(row,
+				fmt.Sprintf("%.3f", t.LossPct()),
+				fmt.Sprintf("%+.3f", t.LossPct()-base.Classes[c].LossPct()))
+		}
+		r.AddRow(row...)
+	}
+	r.Notef("every policy runs at its default knobs (alpha 1, 200µs BShare budget); the baseline row is DT")
+	r.Notef("bshare and abm points force full packet fidelity — the fluid model does not represent their admission")
+	return r
+}
+
+// findPolicyPoint locates the default-knob point for a policy; the baseline
+// stands in for DT.
+func findPolicyPoint(res *Result, pol switchsim.Policy) *PointResult {
+	if pol == switchsim.PolicyDT {
+		return res.Baseline()
+	}
+	for i := range res.Points {
+		o := res.Points[i].Override
+		if o.Policy != pol || o.Alpha != 0 || o.BShareDelay != 0 ||
+			o.ECNThreshold != 0 || o.TotalBuffer != 0 || o.DedicatedPerQueue != 0 {
+			continue
+		}
+		return &res.Points[i]
+	}
+	return nil
 }
 
 // classNames lists the classes seen in the baseline, in fleet.Class order.

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/fleet"
+	"repro/internal/sim"
 	"repro/internal/switchsim"
 )
 
@@ -50,14 +51,18 @@ type Spec struct {
 	// and Workers is a scheduling knob that never affects results.
 	Fleet fleet.Config `json:"fleet"`
 	// Policies lists the sharing disciplines to sweep, by name ("dt",
-	// "static", "complete"). Empty means DT only.
+	// "static", "complete", "bshare", "abm"). Empty means DT only.
 	Policies []switchsim.Policy `json:"policies,omitempty"`
-	// Alphas lists DT parameters to sweep. Only meaningful under PolicyDT;
-	// other policies ignore alpha and get one point each. Empty means {1}.
+	// Alphas lists threshold-scaling parameters to sweep. Only meaningful
+	// under PolicyDT and PolicyABM; the other policies ignore alpha and get
+	// one point each. Empty means {1}.
 	Alphas []float64 `json:"alphas,omitempty"`
 	// ECNThresholds lists static marking thresholds in bytes (0 = default
-	// 120 KB). Empty means {default}.
+	// 120 KB, switchsim.ECNOff = marking disabled). Empty means {default}.
 	ECNThresholds []int `json:"ecn_thresholds,omitempty"`
+	// BShareDelays lists BShare delay budgets. Only meaningful under
+	// PolicyBShare; empty means {default 200 us}.
+	BShareDelays []sim.Time `json:"bshare_delays,omitempty"`
 	// TotalBuffers lists buffer sizes in bytes (0 = default 16 MB).
 	TotalBuffers []int `json:"total_buffers,omitempty"`
 	// DedicatedPerQueue lists per-queue reserves in bytes (0 = derived
@@ -105,6 +110,10 @@ func (s Spec) Expand() ([]Point, error) {
 	ecns := orZero(s.ECNThresholds)
 	bufs := orZero(s.TotalBuffers)
 	deds := orZero(s.DedicatedPerQueue)
+	delays := s.BShareDelays
+	if len(delays) == 0 {
+		delays = []sim.Time{0}
+	}
 
 	var overrides []fleet.SwitchOverride
 	seen := map[fleet.SwitchOverride]bool{}
@@ -121,15 +130,24 @@ func (s Spec) Expand() ([]Point, error) {
 		for _, buf := range bufs {
 			for _, ded := range deds {
 				for _, ecn := range ecns {
-					if pol == switchsim.PolicyDT {
+					switch pol {
+					case switchsim.PolicyDT, switchsim.PolicyABM:
 						for _, a := range alphas {
 							add(fleet.SwitchOverride{
 								Policy: pol, Alpha: a,
 								ECNThreshold: ecn, TotalBuffer: buf, DedicatedPerQueue: ded,
 							})
 						}
-					} else {
-						// Alpha is a DT knob; one point per non-DT combo.
+					case switchsim.PolicyBShare:
+						for _, d := range delays {
+							add(fleet.SwitchOverride{
+								Policy: pol, BShareDelay: d,
+								ECNThreshold: ecn, TotalBuffer: buf, DedicatedPerQueue: ded,
+							})
+						}
+					default:
+						// Neither alpha nor the delay budget applies; one
+						// point per combo.
 						add(fleet.SwitchOverride{
 							Policy:       pol,
 							ECNThreshold: ecn, TotalBuffer: buf, DedicatedPerQueue: ded,
@@ -151,11 +169,21 @@ func (s Spec) Expand() ([]Point, error) {
 }
 
 // canonical collapses override spellings that configure the identical
-// switch: alpha 1 is the DT default, so {PolicyDT, Alpha: 1} with no other
-// knobs IS the baseline and must dedupe with it.
+// switch: alpha 1 is the DT/ABM default, so {PolicyDT, Alpha: 1} with no
+// other knobs IS the baseline and must dedupe with it; knobs a policy
+// ignores (alpha outside DT/ABM, the BShare delay outside BShare) are
+// cleared so spelling them can't split one configuration into two points.
 func canonical(o fleet.SwitchOverride) fleet.SwitchOverride {
-	if o.Policy == switchsim.PolicyDT && o.Alpha == 1 {
+	switch o.Policy {
+	case switchsim.PolicyDT, switchsim.PolicyABM:
+		if o.Alpha == 1 {
+			o.Alpha = 0
+		}
+	default:
 		o.Alpha = 0
+	}
+	if o.Policy != switchsim.PolicyBShare || o.BShareDelay == switchsim.DefaultBShareDelayTarget {
+		o.BShareDelay = 0
 	}
 	return o
 }

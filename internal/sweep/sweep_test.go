@@ -257,7 +257,7 @@ func TestCorruptPointIsRerun(t *testing.T) {
 func TestPolicyPeakOrdering(t *testing.T) {
 	s := Spec{
 		Fleet:    tinyFleet(29),
-		Policies: []switchsim.Policy{switchsim.PolicyDT, switchsim.PolicyStatic, switchsim.PolicyComplete},
+		Policies: switchsim.KnownPolicies(),
 	}
 	dir := filepath.Join(t.TempDir(), "sw")
 	res, err := Run(context.Background(), dir, s, Options{Workers: 2})
@@ -269,28 +269,36 @@ func TestPolicyPeakOrdering(t *testing.T) {
 		peak[res.Points[i].Override.Policy] = res.Points[i].Total.PeakQueueBytes
 	}
 	// The burst-absorption ordering from switchsim's policy tests must
-	// survive the fleet aggregation: complete ≥ DT ≥ static.
+	// survive the fleet aggregation: complete ≥ DT ≥ static ≥ bshare.
 	if !(peak[switchsim.PolicyComplete] >= peak[switchsim.PolicyDT] &&
-		peak[switchsim.PolicyDT] >= peak[switchsim.PolicyStatic]) {
-		t.Errorf("peak ordering violated: complete=%d dt=%d static=%d",
-			peak[switchsim.PolicyComplete], peak[switchsim.PolicyDT], peak[switchsim.PolicyStatic])
+		peak[switchsim.PolicyDT] >= peak[switchsim.PolicyStatic] &&
+		peak[switchsim.PolicyStatic] >= peak[switchsim.PolicyBShare]) {
+		t.Errorf("peak ordering violated: complete=%d dt=%d static=%d bshare=%d",
+			peak[switchsim.PolicyComplete], peak[switchsim.PolicyDT],
+			peak[switchsim.PolicyStatic], peak[switchsim.PolicyBShare])
 	}
 
-	// The report renders both sections with one row per point / alpha.
+	// The report renders all three sections with one row per point / alpha /
+	// policy.
 	results := Report(res)
-	if len(results) != 2 {
+	if len(results) != 3 {
 		t.Fatalf("Report returned %d results", len(results))
 	}
 	if got := len(results[0].Rows); got != len(res.Points) {
 		t.Errorf("whatif-grid has %d rows, want %d", got, len(res.Points))
+	}
+	if got, want := len(results[2].Rows), len(switchsim.KnownPolicies()); got != want {
+		t.Errorf("whatif-policy has %d rows, want one per policy (%d)", got, want)
 	}
 	var sb strings.Builder
 	for _, r := range results {
 		r.Render(&sb)
 		r.RenderMarkdown(&sb)
 	}
-	if !strings.Contains(sb.String(), "whatif-grid") || !strings.Contains(sb.String(), "alpha") {
-		t.Error("rendered report missing expected sections")
+	for _, section := range []string{"whatif-grid", "alpha", "whatif-policy", "bshare", "abm"} {
+		if !strings.Contains(sb.String(), section) {
+			t.Errorf("rendered report missing %q", section)
+		}
 	}
 }
 

@@ -5,24 +5,80 @@ import (
 	"strings"
 )
 
+// policyEntry binds one sharing discipline's identity — its canonical name,
+// CLI/spec short form, and per-quadrant constructor — to its Policy value.
+// The registry below is the single source of truth shared by Known, String,
+// ParsePolicy, MarshalText, and New, so the set of policies cannot drift
+// apart across those surfaces as disciplines are added (the old open-coded
+// range check in Known did exactly that).
+type policyEntry struct {
+	policy Policy
+	name   string // canonical String() form
+	short  string // short form accepted by ParsePolicy and CLI flags
+	build  func(cfg Config, sharedCap, queuesPerQuadrant int) SharingPolicy
+}
+
+// policyRegistry lists every defined policy, indexed by its Policy value.
+var policyRegistry = []policyEntry{
+	{PolicyDT, "dynamic-threshold", "dt", newDTPolicy},
+	{PolicyStatic, "static-partition", "static", newStaticPolicy},
+	{PolicyComplete, "complete-sharing", "complete", newCompletePolicy},
+	{PolicyBShare, "bshare", "bshare", newBSharePolicy},
+	{PolicyABM, "abm", "abm", newABMPolicy},
+}
+
+// lookupPolicy resolves a Policy value to its registry entry, nil if unknown.
+func lookupPolicy(p Policy) *policyEntry {
+	if int(p) < 0 || int(p) >= len(policyRegistry) {
+		return nil
+	}
+	e := &policyRegistry[int(p)]
+	if e.policy != p {
+		// Registry order out of sync with the constants; the registry test
+		// catches this, but never resolve a policy to the wrong entry.
+		return nil
+	}
+	return e
+}
+
+// KnownPolicies returns every defined policy in declaration order — the
+// enumeration sweep grids and conformance tests iterate.
+func KnownPolicies() []Policy {
+	out := make([]Policy, len(policyRegistry))
+	for i := range policyRegistry {
+		out[i] = policyRegistry[i].policy
+	}
+	return out
+}
+
 // Known reports whether p is one of the defined sharing policies. Validate
 // rejects unknown values so a config-driven sweep fails fast instead of
 // silently falling back to a default discipline mid-grid.
-func (p Policy) Known() bool { return p >= PolicyDT && p <= PolicyComplete }
+func (p Policy) Known() bool { return lookupPolicy(p) != nil }
+
+func (p Policy) String() string {
+	if e := lookupPolicy(p); e != nil {
+		return e.name
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
 
 // ParsePolicy resolves a policy name as it appears in sweep specs and CLI
-// flags. Both the short forms ("dt", "static", "complete") and the full
-// String() names are accepted, case-insensitively.
+// flags. Both the short forms and the full String() names are accepted,
+// case-insensitively.
 func ParsePolicy(s string) (Policy, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "dt", "dynamic-threshold":
-		return PolicyDT, nil
-	case "static", "static-partition":
-		return PolicyStatic, nil
-	case "complete", "complete-sharing":
-		return PolicyComplete, nil
+	t := strings.ToLower(strings.TrimSpace(s))
+	for i := range policyRegistry {
+		e := &policyRegistry[i]
+		if t == e.short || t == e.name {
+			return e.policy, nil
+		}
 	}
-	return 0, fmt.Errorf("switchsim: unknown policy %q (want dt, static, or complete)", s)
+	shorts := make([]string, len(policyRegistry))
+	for i := range policyRegistry {
+		shorts[i] = policyRegistry[i].short
+	}
+	return 0, fmt.Errorf("switchsim: unknown policy %q (want %s)", s, strings.Join(shorts, ", "))
 }
 
 // MarshalText encodes the policy by name, so JSON sweep specs and dataset

@@ -53,19 +53,41 @@ func TestPolicyStaticEnforcesQuota(t *testing.T) {
 }
 
 func TestPolicyOrderingUnderOverload(t *testing.T) {
-	// Burst absorption headroom for a lone queue: complete > DT > static.
-	// (16 ports: static quota Cap/4 < DT lone-queue share Cap/2 < Cap.)
+	// Burst absorption headroom for a lone queue: complete > DT > static >
+	// bshare. (16 ports: bshare quota ~312 KB < static quota Cap/4 < DT
+	// lone-queue share Cap/2 < Cap.)
 	peaks := map[Policy]int{}
-	for _, pol := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+	for _, pol := range KnownPolicies() {
 		eng, sw := newPolicySwitch(pol, 16)
 		overload(sw, 0)
 		peaks[pol] = sw.QueueStats(0).PeakBytes
 		eng.Run()
 	}
-	if !(peaks[PolicyComplete] > peaks[PolicyDT] && peaks[PolicyDT] > peaks[PolicyStatic]) {
-		t.Errorf("peak ordering violated: complete=%d dt=%d static=%d",
-			peaks[PolicyComplete], peaks[PolicyDT], peaks[PolicyStatic])
+	if !(peaks[PolicyComplete] > peaks[PolicyDT] && peaks[PolicyDT] > peaks[PolicyStatic] &&
+		peaks[PolicyStatic] > peaks[PolicyBShare]) {
+		t.Errorf("peak ordering violated: complete=%d dt=%d static=%d bshare=%d",
+			peaks[PolicyComplete], peaks[PolicyDT], peaks[PolicyStatic], peaks[PolicyBShare])
 	}
+	// ABM with every queue draining at line rate keeps mu near 1, so its peak
+	// sits near DT's (within one jumbo segment of rounding).
+	if diff := peaks[PolicyABM] - peaks[PolicyDT]; diff > 9066 || diff < -9066 {
+		t.Errorf("abm peak %d strays from dt peak %d under uniform drains",
+			peaks[PolicyABM], peaks[PolicyDT])
+	}
+}
+
+func TestPolicyBShareBoundsDelay(t *testing.T) {
+	eng, sw := newPolicySwitch(PolicyBShare, 16)
+	overload(sw, 0)
+	cfg := sw.Config()
+	// Peak shared occupancy may not exceed the delay budget's worth of
+	// line-rate drain; the whole-segment admit granularity allows one segment
+	// of slop on top of the dedicated reserve.
+	quota := int(cfg.BShareDelayTarget.Seconds() * float64(cfg.DownlinkRateBps) / 8)
+	if limit := quota + cfg.DedicatedPerQueue + 9066; sw.QueueStats(0).PeakBytes > limit {
+		t.Errorf("bshare peak %d exceeds delay-budget limit %d", sw.QueueStats(0).PeakBytes, limit)
+	}
+	eng.Run()
 }
 
 func TestPolicyStringNames(t *testing.T) {
@@ -73,6 +95,8 @@ func TestPolicyStringNames(t *testing.T) {
 		PolicyDT:       "dynamic-threshold",
 		PolicyStatic:   "static-partition",
 		PolicyComplete: "complete-sharing",
+		PolicyBShare:   "bshare",
+		PolicyABM:      "abm",
 	}
 	for p, want := range names {
 		if p.String() != want {
@@ -82,7 +106,7 @@ func TestPolicyStringNames(t *testing.T) {
 }
 
 func TestPoliciesNeverOverflowPool(t *testing.T) {
-	for _, pol := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+	for _, pol := range KnownPolicies() {
 		eng, sw := newPolicySwitch(pol, 8)
 		rng := sim.NewRNG(uint64(pol) + 1)
 		for i := 0; i < 3000; i++ {

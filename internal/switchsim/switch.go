@@ -25,20 +25,24 @@ const (
 	// PolicyComplete admits any segment while the pool has room: maximal
 	// absorption, no isolation (one queue can starve the quadrant).
 	PolicyComplete
+	// PolicyBShare bounds each queue's shared occupancy by the bytes its
+	// line rate drains within BShareDelayTarget, capping the queueing delay
+	// any admitted packet can see (after BShare).
+	PolicyBShare
+	// PolicyABM scales the dynamic threshold by each queue's measured drain
+	// rate: T = Alpha * (free shared) * mu (after ABM).
+	PolicyABM
 )
 
-func (p Policy) String() string {
-	switch p {
-	case PolicyDT:
-		return "dynamic-threshold"
-	case PolicyStatic:
-		return "static-partition"
-	case PolicyComplete:
-		return "complete-sharing"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
-	}
-}
+// ECNOff disables ECN marking when assigned to Config.ECNThreshold. The
+// sentinel exists because a zero threshold means "use the 120 KB default" —
+// without it an ECN-disabled counterfactual was unexpressible.
+const ECNOff = -1
+
+// DefaultBShareDelayTarget is the BShare per-queue queueing-delay budget:
+// 200 us of line-rate drain (~312 KB at 12.5 Gbps), between the ECN marking
+// point and a lone DT queue's share.
+const DefaultBShareDelayTarget = 200 * sim.Microsecond
 
 // Config parameterizes a ToR switch. The defaults mirror the switch class the
 // paper studies (§3): 16 MB buffer in four 4 MB quadrants, most of each
@@ -61,8 +65,12 @@ type Config struct {
 	// free shared buffer).
 	Alpha float64
 	// ECNThreshold is the static per-queue marking threshold in bytes
-	// (default 120 KB, the fleet-wide production setting).
+	// (default 120 KB, the fleet-wide production setting). ECNOff (-1)
+	// disables marking entirely.
 	ECNThreshold int
+	// BShareDelayTarget is the per-queue queueing-delay budget BShare admits
+	// against (default 200 us). Ignored by the other policies.
+	BShareDelayTarget sim.Time
 	// DownlinkRateBps is each server-facing port's line rate (default
 	// 12.5 Gbps).
 	DownlinkRateBps int64
@@ -92,6 +100,7 @@ func DefaultConfig(ports int) Config {
 type queue struct {
 	port     int
 	quadrant int
+	qidx     int // index within the quadrant, as sharing policies see it
 
 	fifo  segFIFO
 	bytes int // total occupancy (dedicated + shared portions)
@@ -125,7 +134,8 @@ type Switch struct {
 	eng               *sim.Engine
 	queuesPerQuadrant int
 	queues            []*queue
-	pools             []*DT
+	policies          []SharingPolicy // one per quadrant
+	markThreshold     int             // effective ECN threshold; maxint when off
 	links             []*netsim.Link
 	segPool           *netsim.SegmentPool
 	sinks             []netsim.Deliver // per-port delivery into the server host
@@ -152,6 +162,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ECNThreshold == 0 {
 		c.ECNThreshold = 120 << 10
+	}
+	if c.BShareDelayTarget == 0 {
+		c.BShareDelayTarget = DefaultBShareDelayTarget
 	}
 	if c.DownlinkRateBps == 0 {
 		c.DownlinkRateBps = netsim.DefaultServerRateBps
@@ -193,12 +206,17 @@ func (c Config) Validate() error {
 	}
 	c = c.withDefaults()
 	// Zero Alpha means "use the default 1"; an explicit non-positive value
-	// under dynamic thresholds would admit nothing into the shared pool.
-	if c.Policy == PolicyDT && !(c.Alpha > 0) {
-		return fmt.Errorf("switchsim: dynamic-threshold needs Alpha > 0, have %v", c.Alpha)
+	// under a threshold-scaling policy would admit nothing into the pool.
+	if (c.Policy == PolicyDT || c.Policy == PolicyABM) && !(c.Alpha > 0) {
+		return fmt.Errorf("switchsim: %v needs Alpha > 0, have %v", c.Policy, c.Alpha)
 	}
-	if c.ECNThreshold < 0 || c.ECNThreshold > c.TotalBuffer {
-		return fmt.Errorf("switchsim: ECN threshold %d outside the %d-byte buffer",
+	if c.BShareDelayTarget < 0 {
+		return fmt.Errorf("switchsim: BShare delay target %v is negative", c.BShareDelayTarget)
+	}
+	// ECNOff (-1) is the only negative threshold with a meaning; other
+	// negatives are mistakes, not "very aggressive marking".
+	if c.ECNThreshold != ECNOff && (c.ECNThreshold < 0 || c.ECNThreshold > c.TotalBuffer) {
+		return fmt.Errorf("switchsim: ECN threshold %d outside the %d-byte buffer (use ECNOff to disable)",
 			c.ECNThreshold, c.TotalBuffer)
 	}
 	quadSize := c.TotalBuffer / c.Quadrants
@@ -228,19 +246,27 @@ func New(eng *sim.Engine, cfg Config) *Switch {
 		eng:               eng,
 		queuesPerQuadrant: queuesPerQuad,
 		queues:            make([]*queue, cfg.Ports),
-		pools:             make([]*DT, cfg.Quadrants),
+		policies:          make([]SharingPolicy, cfg.Quadrants),
+		markThreshold:     cfg.ECNThreshold,
 		links:             make([]*netsim.Link, cfg.Ports),
 		segPool:           cfg.Pool,
 		sinks:             make([]netsim.Deliver, cfg.Ports),
 		groups:            make(map[netsim.GroupID][]int),
 	}
+	if cfg.ECNThreshold == ECNOff {
+		// No queue reaches maxint bytes, so the enqueue hot path keeps its
+		// single unconditional comparison whether marking is on or off.
+		sw.markThreshold = math.MaxInt
+	}
+	build := lookupPolicy(cfg.Policy).build
 	for q := 0; q < cfg.Quadrants; q++ {
-		sw.pools[q] = &DT{Alpha: cfg.Alpha, Cap: sharedCap}
+		sw.policies[q] = build(cfg, sharedCap, queuesPerQuad)
 	}
 	for p := 0; p < cfg.Ports; p++ {
 		sw.queues[p] = &queue{
 			port:         p,
 			quadrant:     p % cfg.Quadrants,
+			qidx:         p / cfg.Quadrants,
 			dedicatedCap: cfg.DedicatedPerQueue,
 		}
 		sw.links[p] = netsim.NewLink(eng, cfg.DownlinkRateBps, cfg.DownlinkProp)
@@ -256,7 +282,7 @@ func (s *Switch) Pool() *netsim.SegmentPool { return s.segPool }
 func (s *Switch) Config() Config { return s.cfg }
 
 // SharedCap returns one quadrant's shared pool capacity in bytes.
-func (s *Switch) SharedCap() int { return s.pools[0].Cap }
+func (s *Switch) SharedCap() int { return s.policies[0].Cap() }
 
 // ConnectPort wires downlink port p to a delivery function (normally the
 // server host's Inject).
@@ -313,7 +339,7 @@ func (s *Switch) enqueue(port int, seg *netsim.Segment) {
 		panic(fmt.Sprintf("switchsim: no such port %d", port))
 	}
 	q := s.queues[port]
-	pool := s.pools[q.quadrant]
+	pol := s.policies[q.quadrant]
 
 	// Admission: spend the queue's dedicated reserve first, then ask the
 	// configured sharing policy for the remainder. A segment is dropped
@@ -324,7 +350,7 @@ func (s *Switch) enqueue(port int, seg *netsim.Segment) {
 		fromDedicated = seg.Size
 	}
 	needShared := seg.Size - fromDedicated
-	if needShared > 0 && !s.admitShared(pool, q, needShared) {
+	if needShared > 0 && !pol.Admit(q.qidx, q.sharedUsed, needShared, s.eng.Now()) {
 		q.stats.DiscardBytes += int64(seg.Size)
 		q.stats.DiscardSegments++
 		s.TotalDiscards++
@@ -342,7 +368,7 @@ func (s *Switch) enqueue(port int, seg *netsim.Segment) {
 	q.stats.EnqueuedSegments++
 
 	// Static-threshold ECN marking on enqueue, production style.
-	if q.bytes >= s.cfg.ECNThreshold && seg.Is(netsim.FlagECT) {
+	if q.bytes >= s.markThreshold && seg.Is(netsim.FlagECT) {
 		seg.Flags |= netsim.FlagCE
 		q.stats.ECNMarkedBytes += int64(seg.Size)
 		q.stats.ECNMarkedSegs++
@@ -351,28 +377,6 @@ func (s *Switch) enqueue(port int, seg *netsim.Segment) {
 	q.fifo.Push(seg)
 	if !q.busy {
 		s.startDrain(q)
-	}
-}
-
-// admitShared applies the configured policy to a request for size bytes of
-// a quadrant's shared pool by a queue currently holding q.sharedUsed.
-func (s *Switch) admitShared(pool *DT, q *queue, size int) bool {
-	switch s.cfg.Policy {
-	case PolicyStatic:
-		quota := pool.Cap / s.queuesPerQuadrant
-		if q.sharedUsed+size > quota || pool.Used+size > pool.Cap {
-			return false
-		}
-		pool.Used += size
-		return true
-	case PolicyComplete:
-		if pool.Used+size > pool.Cap {
-			return false
-		}
-		pool.Used += size
-		return true
-	default:
-		return pool.Admit(q.sharedUsed, size)
 	}
 }
 
@@ -405,10 +409,14 @@ func finishTx(a1, a2 any, _ int64) {
 	q.fifo.PopFront()
 	q.bytes -= seg.Size
 	q.dedicatedUsed -= seg.Size - seg.EnqueuedShared
+	pol := s.policies[q.quadrant]
 	if seg.EnqueuedShared > 0 {
-		s.pools[q.quadrant].Release(seg.EnqueuedShared)
+		pol.Release(seg.EnqueuedShared)
 		q.sharedUsed -= seg.EnqueuedShared
 	}
+	// q.bytes is already the post-dequeue occupancy: zero remaining means
+	// this departure ended the queue's busy period.
+	pol.OnDequeue(q.qidx, seg.Size, q.bytes, s.eng.Now())
 	q.stats.DequeuedBytes += int64(seg.Size)
 	// Deliver synchronously: the downlink propagation delay (a couple of
 	// microseconds of fiber) is folded into this event rather than costing a
@@ -430,11 +438,14 @@ func (s *Switch) QueueBytes(p int) int { return s.queues[p].bytes }
 func (s *Switch) QueueStats(p int) QueueStats { return s.queues[p].stats }
 
 // SharedUsed returns the occupancy of quadrant q's shared pool.
-func (s *Switch) SharedUsed(q int) int { return s.pools[q].Used }
+func (s *Switch) SharedUsed(q int) int { return s.policies[q].Used() }
 
-// Threshold returns the instantaneous DT limit seen by port p's queue.
+// Threshold returns the instantaneous shared-occupancy limit the configured
+// policy grants port p's queue (the DT formula under DT, the quota under
+// static/BShare, the pool room under complete sharing).
 func (s *Switch) Threshold(p int) int {
-	return s.pools[s.queues[p].quadrant].Threshold()
+	q := s.queues[p]
+	return s.policies[q.quadrant].Threshold(q.qidx, s.eng.Now())
 }
 
 // ActiveQueues counts queues with at least one buffered segment, per quadrant

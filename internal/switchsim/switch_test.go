@@ -263,6 +263,38 @@ func TestSwitchECNMarking(t *testing.T) {
 	}
 }
 
+func TestSwitchECNOffNeverMarks(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(4)
+	cfg.ECNThreshold = ECNOff
+	sw := New(eng, cfg)
+	var ceSeen bool
+	sw.ConnectPort(0, func(s *netsim.Segment) {
+		if s.Is(netsim.FlagCE) {
+			ceSeen = true
+		}
+	})
+	// Push ECT traffic far past the default 120 KB threshold — deep enough
+	// that DT starts dropping, proving admission still works with marking off.
+	for sent := 0; sent < 4<<20; sent += 9066 {
+		sw.ForwardFromFabric(0, dataSeg(9066, 1))
+	}
+	eng.Run()
+	if ceSeen {
+		t.Error("CE mark delivered with ECN disabled")
+	}
+	st := sw.QueueStats(0)
+	if st.ECNMarkedSegs != 0 || st.ECNMarkedBytes != 0 {
+		t.Errorf("marking counters moved with ECN disabled: %+v", st)
+	}
+	if st.DiscardSegments == 0 {
+		t.Error("expected DT discards; overload did not exercise admission")
+	}
+	if st.DequeuedBytes == 0 {
+		t.Error("no traffic traversed the queue")
+	}
+}
+
 func TestSwitchNonECTNeverMarked(t *testing.T) {
 	eng, sw := newTestSwitch(t, 4)
 	var ceSeen bool

@@ -33,8 +33,9 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"negative alpha", func(c *Config) { c.Alpha = -0.5 }, "Alpha"},
 		{"NaN alpha", func(c *Config) { c.Alpha = math.NaN() }, "Alpha"},
 		{"Inf alpha", func(c *Config) { c.Alpha = math.Inf(1) }, "Alpha"},
-		{"negative ECN", func(c *Config) { c.ECNThreshold = -1 }, "ECN threshold"},
+		{"negative ECN", func(c *Config) { c.ECNThreshold = -2 }, "ECN threshold"},
 		{"ECN beyond buffer", func(c *Config) { c.ECNThreshold = 32 << 20 }, "ECN threshold"},
+		{"negative BShare delay", func(c *Config) { c.Policy = PolicyBShare; c.BShareDelayTarget = -1 }, "BShare delay"},
 		{"reserves eat the pool", func(c *Config) { c.DedicatedPerQueue = 2 << 20 }, "dedicated reserves"},
 	}
 	for _, tc := range cases {
@@ -52,10 +53,10 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 }
 
 func TestValidateNonPositiveAlphaOnlyMattersUnderDT(t *testing.T) {
-	// Alpha is ignored by the static and complete disciplines, so a spec that
-	// zeroes it while sweeping those policies must still pass (zero means
+	// Alpha is ignored by the non-threshold-scaling disciplines, so a spec
+	// that zeroes it while sweeping those policies must still pass (zero means
 	// "default" and the default is 1, which every policy tolerates).
-	for _, pol := range []Policy{PolicyStatic, PolicyComplete} {
+	for _, pol := range []Policy{PolicyStatic, PolicyComplete, PolicyBShare} {
 		cfg := DefaultConfig(8)
 		cfg.Policy = pol
 		cfg.Alpha = 0
@@ -65,13 +66,26 @@ func TestValidateNonPositiveAlphaOnlyMattersUnderDT(t *testing.T) {
 	}
 }
 
+func TestValidateECNOff(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.ECNThreshold = ECNOff
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("ECNOff rejected: %v", err)
+	}
+	// The sentinel must survive withDefaults — if the zero-value backfill
+	// caught it, "marking disabled" would silently become "default 120 KB".
+	if got := cfg.withDefaults().ECNThreshold; got != ECNOff {
+		t.Errorf("withDefaults rewrote ECNOff to %d", got)
+	}
+}
+
 func TestPolicyKnown(t *testing.T) {
-	for _, p := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+	for _, p := range KnownPolicies() {
 		if !p.Known() {
 			t.Errorf("%v.Known() = false", p)
 		}
 	}
-	for _, p := range []Policy{Policy(-1), Policy(3), Policy(99)} {
+	for _, p := range []Policy{Policy(-1), Policy(5), Policy(99)} {
 		if p.Known() {
 			t.Errorf("Policy(%d).Known() = true", int(p))
 		}
@@ -79,7 +93,7 @@ func TestPolicyKnown(t *testing.T) {
 }
 
 func TestParsePolicyRoundTrip(t *testing.T) {
-	for _, p := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+	for _, p := range KnownPolicies() {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
@@ -88,6 +102,7 @@ func TestParsePolicyRoundTrip(t *testing.T) {
 	short := map[string]Policy{
 		"dt": PolicyDT, "DT": PolicyDT,
 		"static": PolicyStatic, " Complete ": PolicyComplete,
+		"bshare": PolicyBShare, "ABM": PolicyABM,
 	}
 	for s, want := range short {
 		got, err := ParsePolicy(s)
@@ -104,7 +119,7 @@ func TestPolicyJSONRoundTrip(t *testing.T) {
 	type doc struct {
 		P Policy `json:"p"`
 	}
-	for _, p := range []Policy{PolicyDT, PolicyStatic, PolicyComplete} {
+	for _, p := range KnownPolicies() {
 		b, err := json.Marshal(doc{P: p})
 		if err != nil {
 			t.Fatalf("marshal %v: %v", p, err)
