@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench distrib-smoke
+.PHONY: build test check vet race bench distrib-smoke queryd-smoke
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,9 @@ bench:
 # against a single-process golden.
 distrib-smoke:
 	./scripts/distrib_smoke.sh
+
+# queryd-smoke runs the read-side query service end-to-end: real binaries,
+# real HTTP; catalog, streaming NDJSON, cached renders (hit + byte-identity
+# vs the local CLI), ETag revalidation, client mode, graceful drain.
+queryd-smoke:
+	./scripts/queryd_smoke.sh

@@ -17,7 +17,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -27,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/distrib"
+	"repro/internal/httpserve"
 )
 
 func main() {
@@ -46,50 +46,45 @@ func main() {
 	defer cancel()
 	go coord.RunExpiry(ctx, *leaseTTL/4)
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "coordinator: listening on %s (lease ttl %v)\n", *listen, *leaseTTL)
-
-	progress := time.NewTicker(5 * time.Second)
-	defer progress.Stop()
-	lastDone := -1
-	for {
-		select {
-		case <-ctx.Done():
-			// Drain: stop granting leases, let in-flight uploads land, then
-			// stop serving.
-			fmt.Fprintln(os.Stderr, "coordinator: draining (no new leases)")
-			coord.Drain()
-			shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer shCancel()
-			srv.Shutdown(shCtx)
-			return
-		case err := <-errc:
-			if !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "coordinator:", err)
-				os.Exit(1)
-			}
-			return
-		case <-coord.Done():
-			st := coord.Status()
-			fmt.Fprintf(os.Stderr, "coordinator: job complete: %d/%d units, fingerprint %s\n",
-				st.Done, st.Total, st.Fingerprint)
-			if *once {
-				shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
-				defer shCancel()
-				srv.Shutdown(shCtx)
+	// Progress reporting and -once both ride on the coordinator's state; the
+	// serve loop itself is the shared graceful-drain plumbing.
+	go func() {
+		progress := time.NewTicker(5 * time.Second)
+		defer progress.Stop()
+		lastDone := -1
+		for {
+			select {
+			case <-ctx.Done():
 				return
-			}
-			// Keep serving status (and Done leases) for late workers.
-			<-ctx.Done()
-			srv.Close()
-			return
-		case <-progress.C:
-			st := coord.Status()
-			if st.HasJob && st.Done != lastDone {
-				lastDone = st.Done
-				fmt.Fprintf(os.Stderr, "coordinator: %d/%d units committed\n", st.Done, st.Total)
+			case <-coord.Done():
+				st := coord.Status()
+				fmt.Fprintf(os.Stderr, "coordinator: job complete: %d/%d units, fingerprint %s\n",
+					st.Done, st.Total, st.Fingerprint)
+				if *once {
+					cancel()
+				}
+				// Otherwise keep serving status (and Done leases) for late
+				// workers until a signal arrives.
+				return
+			case <-progress.C:
+				st := coord.Status()
+				if st.HasJob && st.Done != lastDone {
+					lastDone = st.Done
+					fmt.Fprintf(os.Stderr, "coordinator: %d/%d units committed\n", st.Done, st.Total)
+				}
 			}
 		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "coordinator: listening on %s (lease ttl %v)\n", *listen, *leaseTTL)
+	err := httpserve.Graceful(ctx, srv, 10*time.Second, func() {
+		// Drain: stop granting leases; in-flight uploads still land during
+		// the shutdown window.
+		fmt.Fprintln(os.Stderr, "coordinator: draining (no new leases)")
+		coord.Drain()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
 	}
 }

@@ -1,15 +1,20 @@
-// Command dsinspect browses a fleet dataset produced by cmd/fleetgen:
-// per-rack summaries with measured classification, and per-rack drill-down
-// into runs and burst statistics.
+// Command dsinspect browses the pipeline's result stores: fleet datasets
+// produced by cmd/fleetgen (per-rack summaries with measured classification
+// and per-rack drill-down) and sweep result directories produced by
+// cmd/sweep (per-point completion and the sealed result digest).
 //
-// -data accepts a sharded dataset directory (runs stream shard by shard) or a
-// legacy single .gob.gz file. An incomplete sharded dataset prints its shard
-// status instead of the rack table.
+// -data accepts a sharded dataset directory (runs stream shard by shard), a
+// legacy single .gob.gz file, or a sweep result directory. An incomplete
+// sharded dataset prints its shard status instead of the rack table; an
+// incomplete sweep prints its point status.
 //
 // Usage:
 //
 //	dsinspect -data fleet.ds                 # rack table
 //	dsinspect -data fleet.ds -rack RegA/3    # one rack's runs
+//	dsinspect -data fleet.ds -digest         # canonical digest, for scripts
+//	dsinspect -data sweepdir                 # sweep point status
+//	dsinspect -data sweepdir -digest         # sealed ResultDigest
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -43,6 +49,10 @@ func main() {
 	digest := flag.Bool("digest", false, "print the canonical dataset digest and exit (for byte-identity checks)")
 	flag.Parse()
 
+	if sweep.IsDir(*data) {
+		sweepStatus(*data, *digest)
+		return
+	}
 	if *digest {
 		printDigest(*data)
 		return
@@ -104,6 +114,47 @@ func printDigest(data string) {
 		os.Exit(1)
 	}
 	fmt.Println(d)
+}
+
+// sweepStatus reports a sweep result directory: the sealed digest (for
+// scripts comparing two sweeps), or the per-point completion table.
+func sweepStatus(dir string, digestOnly bool) {
+	man, err := sweep.Inspect(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsinspect:", err)
+		os.Exit(1)
+	}
+	done, total := man.Progress()
+	if digestOnly {
+		if !man.Complete {
+			fmt.Fprintf(os.Stderr, "dsinspect: sweep incomplete (%d/%d points); no digest\n", done, total)
+			os.Exit(1)
+		}
+		fmt.Println(man.ResultDigest)
+		return
+	}
+	fmt.Printf("sweep %s: %q, %d/%d points (seed %d, %d racks/region x %d servers x %d hours)\n",
+		dir, man.Name, done, total, man.Fleet.Seed,
+		man.Fleet.RacksPerRegion, man.Fleet.ServersPerRack, len(man.Fleet.Hours))
+	if man.Complete {
+		fmt.Printf("result digest: %s\n", man.ResultDigest)
+	} else {
+		fmt.Printf("resume with: sweep -o %s <same flags>\n", dir)
+	}
+	fmt.Println()
+	fmt.Printf("%-4s %-28s %-9s %s\n", "idx", "label", "state", "digest")
+	for _, p := range man.Points {
+		state, dg := "pending", "-"
+		if p.Complete {
+			state = "complete"
+			if len(p.Digest) >= 12 {
+				dg = p.Digest[:12]
+			} else {
+				dg = p.Digest
+			}
+		}
+		fmt.Printf("%-4d %-28s %-9s %s\n", p.Index, p.Label, state, dg)
+	}
 }
 
 // open resolves the dataset source. An incomplete sharded dataset prints its

@@ -13,9 +13,21 @@
 //
 // -sweep appends the what-if counterfactual tables (§9) from a completed
 // cmd/sweep result directory to the report.
+//
+// -server switches to client mode: instead of loading or generating a
+// dataset locally, renders are fetched from a running cmd/queryd instance.
+// There -data and -sweep name entries in the server's catalog (as listed by
+// GET /v1/catalog) rather than local paths. Fetches revalidate with ETags
+// (a repeated render costs a 304, not a recomputation) and retry transient
+// failures on the shared backoff policy. Without -server the command
+// renders locally, exactly as before.
+//
+//	experiments -server http://localhost:9010 -data fleet.ds -run tab1
+//	experiments -server http://localhost:9010 -sweep sweeps/default -md out.md
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +37,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/queryd"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -36,6 +49,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override dataset seed")
 	racks := flag.Int("racks", 0, "override racks per region")
 	sweepDir := flag.String("sweep", "", "completed cmd/sweep result directory: append its what-if tables")
+	server := flag.String("server", "", "queryd base URL: fetch renders remotely; -data/-sweep become catalog names")
 	md := flag.String("md", "", "also write results as markdown to this file")
 	plot := flag.Bool("plot", false, "render ASCII plots for figures that carry curves")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -44,6 +58,14 @@ func main() {
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *server != "" {
+		if err := runRemote(*server, *data, *sweepDir, *runIDs, *md); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -109,6 +131,75 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote markdown to %s\n", *md)
 	}
+}
+
+// runRemote is client mode: fetch the requested renders from a queryd
+// server instead of computing them locally. The server's cache means a
+// fleet-wide render is computed once no matter how many clients ask.
+func runRemote(server, data, sweepName, runIDs, md string) error {
+	if data == "" && sweepName == "" {
+		return fmt.Errorf("-server needs -data and/or -sweep naming catalog entries (see %s/v1/catalog)", server)
+	}
+	c := &queryd.Client{BaseURL: server}
+	ctx := context.Background()
+
+	// fetch grabs one catalog entry's renders in the given format.
+	fetch := func(format string) ([][]byte, error) {
+		var bodies [][]byte
+		if data != "" {
+			ids := []string{"all"}
+			if runIDs != "all" {
+				ids = strings.Split(runIDs, ",")
+			}
+			for _, id := range ids {
+				b, err := c.RenderDataset(ctx, data, strings.TrimSpace(id), format)
+				if err != nil {
+					return nil, err
+				}
+				bodies = append(bodies, b)
+			}
+		}
+		if sweepName != "" {
+			b, err := c.RenderSweep(ctx, sweepName, "all", format)
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, b)
+		}
+		return bodies, nil
+	}
+
+	bodies, err := fetch("text")
+	if err != nil {
+		return err
+	}
+	for _, b := range bodies {
+		os.Stdout.Write(b)
+	}
+	if md != "" {
+		mdBodies, err := fetch("md")
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(md)
+		if err != nil {
+			return err
+		}
+		for _, b := range mdBodies {
+			if _, err := f.Write(b); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote markdown to %s\n", md)
+	}
+	if reval, filled := c.Stats(); reval > 0 {
+		fmt.Fprintf(os.Stderr, "fetched %d renders (%d revalidated via ETag)\n", reval+filled, reval)
+	}
+	return nil
 }
 
 // loadOrGenerate resolves the experiments' dataset source: an existing

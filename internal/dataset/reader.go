@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
@@ -18,6 +19,11 @@ import (
 // as an in-memory *fleet.Dataset (Config / RackMetas / EachRun / RackRuns),
 // but reads one shard at a time, so peak memory is one rack's runs rather
 // than the fleet's.
+//
+// A Reader is immutable after Open, so one instance may be shared by any
+// number of concurrent shard walks — the query service serves every client
+// of a dataset from a single cached Reader. Each walk opens its own file
+// handles; no state is shared between walks.
 type Reader struct {
 	dir string
 	man *Manifest
@@ -61,6 +67,26 @@ func (r *Reader) Shards() []ShardEntry { return r.man.Shards }
 // it never affects results).
 func (r *Reader) Config() fleet.Config { return r.man.Config }
 
+// StoreDigest returns the dataset's store-level fingerprint: a sha256 over
+// the per-shard content digests in manifest (generation) order. Because the
+// shard digests cover the exact file bytes, two directories fingerprint
+// identically iff every shard is byte-identical — the same property the
+// canonical fleet.Dataset.Digest has, but computable from the manifest alone
+// without decoding a single run. The query service keys render caches and
+// ETags on it. It errors on an incomplete dataset: shards still pending have
+// no digest to fingerprint.
+func (r *Reader) StoreDigest() (string, error) {
+	if !r.man.Complete {
+		return "", r.incompleteErr()
+	}
+	h := sha256.New()
+	for i := range r.man.Shards {
+		s := &r.man.Shards[i]
+		fmt.Fprintf(h, "%s/%d:%s\n", s.Region, s.ID, s.Digest)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // RackMetas returns the classified per-rack metadata.
 func (r *Reader) RackMetas() []fleet.RackMeta { return r.man.Racks }
 
@@ -70,10 +96,22 @@ func (r *Reader) RackMetas() []fleet.RackMeta { return r.man.Racks }
 // their count is returned. The *RunSummary is only valid for the duration
 // of the callback — copy it to retain it.
 func (r *Reader) EachRun(fn func(run *fleet.RunSummary, c fleet.Class) error) (skipped int, err error) {
+	return r.EachRunCtx(context.Background(), fn)
+}
+
+// EachRunCtx is EachRun with cancellation threaded into the shard walk: the
+// context is checked before every shard and every delivered run, so a
+// cancelled request (a query-service client going away, a deadline firing)
+// abandons the walk within one run's decode rather than reading the whole
+// dataset to the end. The walk's error is ctx.Err() in that case.
+func (r *Reader) EachRunCtx(ctx context.Context, fn func(run *fleet.RunSummary, c fleet.Class) error) (skipped int, err error) {
 	if !r.man.Complete {
 		return 0, r.incompleteErr()
 	}
 	for i := range r.man.Shards {
+		if err := ctx.Err(); err != nil {
+			return skipped, err
+		}
 		entry := &r.man.Shards[i]
 		class, ok := r.classes[shardKey(entry.Region, entry.ID)]
 		if !ok {
@@ -82,7 +120,12 @@ func (r *Reader) EachRun(fn func(run *fleet.RunSummary, c fleet.Class) error) (s
 			skipped += entry.Runs
 			continue
 		}
-		err := r.readShard(entry, func(run *fleet.RunSummary) error { return fn(run, class) })
+		err := r.readShard(entry, func(run *fleet.RunSummary) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fn(run, class)
+		})
 		if err != nil {
 			return skipped, err
 		}

@@ -2,7 +2,6 @@ package distrib
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fsutil"
+	"repro/internal/httpserve"
 )
 
 // CoordinatorConfig tunes lease behavior. Results never depend on it.
@@ -388,74 +388,62 @@ func (c *Coordinator) Status() *StatusResponse {
 }
 
 // Handler exposes the coordinator's RPC surface. All endpoints are POST
-// except /v1/status; bodies and responses are JSON.
+// except /v1/status; bodies, responses, and error envelopes are JSON
+// (internal/httpserve's shapes, shared with queryd).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/job", func(w http.ResponseWriter, r *http.Request) {
 		var req JobRequest
-		if !decodeBody(w, r, &req) {
+		if !httpserve.DecodeJSON(w, r, &req) {
 			return
 		}
 		if err := c.Submit(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
+			httpserve.Error(w, http.StatusConflict, "%v", err)
 			return
 		}
-		writeJSON(w, map[string]bool{"ok": true})
+		httpserve.WriteJSON(w, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
-		if !decodeBody(w, r, &req) {
+		if !httpserve.DecodeJSON(w, r, &req) {
 			return
 		}
 		resp, err := c.Lease(req.Worker)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
+			httpserve.Error(w, http.StatusConflict, "%v", err)
 			return
 		}
-		writeJSON(w, resp)
+		httpserve.WriteJSON(w, resp)
 	})
 	mux.HandleFunc("POST /v1/renew", func(w http.ResponseWriter, r *http.Request) {
 		var req RenewRequest
-		if !decodeBody(w, r, &req) {
+		if !httpserve.DecodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, &RenewResponse{OK: c.Renew(req.Worker, req.UnitID, req.Token)})
+		httpserve.WriteJSON(w, &RenewResponse{OK: c.Renew(req.Worker, req.UnitID, req.Token)})
 	})
 	mux.HandleFunc("POST /v1/release", func(w http.ResponseWriter, r *http.Request) {
 		var req ReleaseRequest
-		if !decodeBody(w, r, &req) {
+		if !httpserve.DecodeJSON(w, r, &req) {
 			return
 		}
 		c.Release(req.Worker, req.UnitID, req.Token)
-		writeJSON(w, map[string]bool{"ok": true})
+		httpserve.WriteJSON(w, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req CompleteRequest
-		if !decodeBody(w, r, &req) {
+		if !httpserve.DecodeJSON(w, r, &req) {
 			return
 		}
 		resp, err := c.Complete(&req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
+			httpserve.Error(w, http.StatusConflict, "%v", err)
 			return
 		}
-		writeJSON(w, resp)
+		httpserve.WriteJSON(w, resp)
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Status())
+		httpserve.WriteJSON(w, c.Status())
 	})
 	return mux
-}
-
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		http.Error(w, fmt.Sprintf("distrib: bad request body: %v", err), http.StatusBadRequest)
-		return false
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
 }

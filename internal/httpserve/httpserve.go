@@ -1,0 +1,147 @@
+// Package httpserve is the HTTP server plumbing the repo's two services —
+// the distributed-generation coordinator (internal/distrib) and the
+// read-side query service (internal/queryd) — share: graceful
+// drain-on-signal serving, a JSON error envelope, JSON request/response
+// helpers, and request logging middleware. Both services speak stdlib
+// HTTP/JSON; this package keeps their operational behavior (shutdown
+// semantics, error shape, log line format) identical instead of
+// copy-pasted.
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+// ErrorBody is the JSON error envelope every non-2xx response carries:
+//
+//	{"error": {"status": 404, "message": "no dataset \"x\""}}
+//
+// Clients that only print the body still get something readable; clients
+// that decode it get a stable shape.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope's payload.
+type ErrorDetail struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// Error writes a JSON error envelope with the given status. It is the
+// service-side replacement for http.Error.
+func Error(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{
+		Status:  status,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// WriteJSON writes v as a 200 JSON response.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// DecodeJSON decodes a request body into v; on failure it writes a 400
+// envelope and returns false.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		Error(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// statusWriter captures the response status and byte count for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the logging wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Logged wraps next so every request emits one line on logger:
+//
+//	GET /v1/catalog 200 531B 1.2ms
+//
+// A nil logger returns next unchanged.
+func Logged(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Printf("%s %s %d %dB %v", r.Method, r.URL.RequestURI(), sw.status,
+			sw.bytes, time.Since(start).Round(100*time.Microsecond))
+	})
+}
+
+// Graceful runs srv until ctx is cancelled, then drains: onDrain (if any)
+// runs first — the place to stop granting leases or refuse new heavy work —
+// and in-flight requests get drainTimeout to finish before the listener is
+// torn down. A clean shutdown (including one triggered by the server being
+// closed elsewhere) returns nil; anything else is the serve error.
+func Graceful(ctx context.Context, srv *http.Server, drainTimeout time.Duration, onDrain func()) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		if onDrain != nil {
+			onDrain()
+		}
+		shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			// Stragglers outlived the drain window; close them hard.
+			srv.Close()
+		}
+		<-errc // reap the serve goroutine (always ErrServerClosed by now)
+		return nil
+	}
+}

@@ -1,0 +1,136 @@
+package httpserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Error(rec, http.StatusNotFound, "no dataset %q", "x")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	if body.Error.Status != 404 || body.Error.Message != `no dataset "x"` {
+		t.Fatalf("envelope = %+v", body)
+	}
+}
+
+func TestDecodeJSONBadBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/x", strings.NewReader("{not json"))
+	var v struct{}
+	if DecodeJSON(rec, req, &v) {
+		t.Fatal("DecodeJSON accepted garbage")
+	}
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+}
+
+func TestLoggedCapturesStatusAndBytes(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := Logged(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "short and stout")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/pot?x=1", nil))
+	line := buf.String()
+	for _, want := range []string{"GET /pot?x=1", "418", "15B"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLoggedPreservesFlusher(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	flushed := false
+	h := Logged(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+			flushed = true
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !flushed {
+		t.Fatal("logging wrapper hides http.Flusher from streaming handlers")
+	}
+}
+
+// TestGracefulDrain proves the SIGTERM path: cancelling the context runs the
+// drain hook, lets the in-flight request finish, and returns nil.
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Addr: addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "done")
+	})}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	drained := make(chan struct{})
+	served := make(chan error, 1)
+	go func() {
+		served <- Graceful(ctx, srv, 5*time.Second, func() { close(drained) })
+	}()
+
+	// Wait for the listener, then park a request in the handler.
+	var resp *http.Response
+	got := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 100; i++ {
+			resp, err = http.Get("http://" + addr + "/")
+			if err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		got <- err
+	}()
+	<-inHandler
+
+	cancel()
+	<-drained
+	// The in-flight request must still complete during the drain window.
+	close(release)
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "done" {
+		t.Fatalf("in-flight body = %q", body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Graceful returned %v, want nil", err)
+	}
+}

@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStoreReads proves the sweep result store is safe for the
+// query service's access pattern under -race: many goroutines opening the
+// same completed directory, inspecting its manifest, and rendering reports
+// from one shared *Result.
+func TestConcurrentStoreReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep execution is slow")
+	}
+	dir := t.TempDir()
+	s := tinySpec(11)
+	if _, err := Run(context.Background(), dir, s, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := shared.Manifest.ResultDigest
+
+	const readers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			man, err := Inspect(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if done, total := man.Progress(); done != total {
+				t.Errorf("inspect: %d/%d points on a complete sweep", done, total)
+			}
+			if i%2 == 0 {
+				// Fresh open per request.
+				res, err := Open(dir)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Manifest.ResultDigest != want {
+					t.Errorf("open %d: digest %s, want %s", i, res.Manifest.ResultDigest, want)
+				}
+				return
+			}
+			// Shared Result rendered concurrently (the cached-render path).
+			results := Report(shared)
+			if len(results) == 0 {
+				t.Error("Report returned nothing")
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -291,6 +291,24 @@ func (st *Store) writeManifest() error {
 	return nil
 }
 
+// Inspect reads a sweep directory's manifest without loading or verifying
+// any point results — the cheap status view dsinspect and the query
+// service's catalog use. Unlike Open it succeeds on an incomplete sweep;
+// callers decide what an unfinished grid means for them.
+func Inspect(dir string) (*Manifest, error) {
+	return readManifest(dir)
+}
+
+// Progress returns a manifest's committed and total point counts.
+func (m *Manifest) Progress() (done, total int) {
+	for i := range m.Points {
+		if m.Points[i].Complete {
+			done++
+		}
+	}
+	return done, len(m.Points)
+}
+
 // IsDir reports whether path holds a sweep result directory (a sweep.json).
 func IsDir(path string) bool {
 	fi, err := os.Stat(filepath.Join(path, manifestName))
