@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench distrib-smoke queryd-smoke
+.PHONY: build test check vet race bench distrib-smoke queryd-smoke hoststack-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ race:
 check:
 	./scripts/check.sh
 
-# bench runs the benchmark regression gate and refreshes BENCH_PR2.json.
+# bench runs the benchmark regression gate and refreshes BENCH.json.
 bench:
 	./scripts/bench.sh
 
@@ -34,3 +34,10 @@ distrib-smoke:
 # vs the local CLI), ETag revalidation, client mode, graceful drain.
 queryd-smoke:
 	./scripts/queryd_smoke.sh
+
+# hoststack-smoke proves the host-stack instrument at the shell level:
+# instrumented generation digest-stable across an interrupted resume,
+# dsinspect surfacing, and refusal to mix instrumented and uninstrumented
+# shards in one dataset.
+hoststack-smoke:
+	./scripts/hoststack_smoke.sh

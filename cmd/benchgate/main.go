@@ -47,8 +47,10 @@ type GenResult struct {
 	Digest      string  `json:"digest"`
 }
 
-// File is the on-disk benchmark record (BENCH_PR7.json). Schema 2 adds the
-// hybrid-fidelity generation measurement and its speedup over full fidelity.
+// File is the on-disk benchmark record (BENCH_PR10.json). Schema 2 adds the
+// hybrid-fidelity generation measurement and its speedup over full fidelity;
+// schema 3 adds the host-stack-instrumented generation and its overhead over
+// the uninstrumented full-fidelity run.
 type File struct {
 	Schema      int                    `json:"schema"`
 	CreatedUnix int64                  `json:"created_unix"`
@@ -61,11 +63,24 @@ type File struct {
 	// GenerateHybrid.WallSeconds. Absent (zero) in schema-1 files.
 	GenerateHybrid GenResult `json:"generate_hybrid,omitempty"`
 	HybridSpeedup  float64   `json:"hybrid_speedup,omitempty"`
+	// GenerateHostStack is the same small-preset generation with the
+	// host-stack latency instrument armed (full fidelity, forced);
+	// HostStackOverhead = GenerateHostStack.WallSeconds /
+	// Generate.WallSeconds. Absent (zero) in schema-1/2 files.
+	GenerateHostStack GenResult `json:"generate_hoststack,omitempty"`
+	HostStackOverhead float64   `json:"hoststack_overhead,omitempty"`
 }
 
 // minHybridSpeedup is the acceptance floor: the hybrid path must generate the
 // small preset at least this many times faster than the full engine.
 const minHybridSpeedup = 3.0
+
+// maxHostStackOverhead is the acceptance ceiling: arming the host-stack
+// instrument may cost at most this factor over the plain full-fidelity
+// generation. The per-segment hook is zero-alloc histogram bookkeeping, so
+// anything past a modest slowdown means the tap started perturbing the
+// hot path.
+const maxHostStackOverhead = 1.30
 
 func main() {
 	if len(os.Args) < 2 {
@@ -99,24 +114,30 @@ func runCmd(args []string) {
 	runGoBench(results, *micro, *microTime)
 	runGoBench(results, *figs, strconv.Itoa(*figCount)+"x")
 
-	gen, err := measureGenerate(fleet.FidelityFull)
+	gen, err := measureGenerate(fleet.FidelityFull, false)
 	if err != nil {
 		fatal(err)
 	}
-	hyb, err := measureGenerate(fleet.FidelityHybrid)
+	hyb, err := measureGenerate(fleet.FidelityHybrid, false)
+	if err != nil {
+		fatal(err)
+	}
+	hs, err := measureGenerate(fleet.FidelityFull, true)
 	if err != nil {
 		fatal(err)
 	}
 
 	f := File{
-		Schema:         2,
-		CreatedUnix:    time.Now().Unix(),
-		GoVersion:      runtime.Version(),
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		Benchmarks:     results,
-		Generate:       gen,
-		GenerateHybrid: hyb,
-		HybridSpeedup:  gen.WallSeconds / hyb.WallSeconds,
+		Schema:            3,
+		CreatedUnix:       time.Now().Unix(),
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Benchmarks:        results,
+		Generate:          gen,
+		GenerateHybrid:    hyb,
+		HybridSpeedup:     gen.WallSeconds / hyb.WallSeconds,
+		GenerateHostStack: hs,
+		HostStackOverhead: hs.WallSeconds / gen.WallSeconds,
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -126,8 +147,8 @@ func runCmd(args []string) {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchgate: %d benchmarks, generate wall %.2fs (hybrid %.2fs, %.2fx), written to %s\n",
-		len(results), gen.WallSeconds, hyb.WallSeconds, f.HybridSpeedup, *out)
+	fmt.Printf("benchgate: %d benchmarks, generate wall %.2fs (hybrid %.2fs, %.2fx; hoststack %.2fs, %.2fx overhead), written to %s\n",
+		len(results), gen.WallSeconds, hyb.WallSeconds, f.HybridSpeedup, hs.WallSeconds, f.HostStackOverhead, *out)
 }
 
 // minGateIters is the iteration floor below which a benchmark's ns/op is
@@ -164,12 +185,14 @@ func runGoBench(into map[string]BenchResult, pattern, benchtime string) {
 }
 
 // measureGenerate times one small-preset collection day at the given
-// fidelity. Workers is pinned to 2 so the number is comparable across
-// machines and matches the golden-digest test's configuration.
-func measureGenerate(fid fleet.Fidelity) (GenResult, error) {
+// fidelity, optionally with the host-stack instrument armed. Workers is
+// pinned to 2 so the number is comparable across machines and matches the
+// golden-digest test's configuration.
+func measureGenerate(fid fleet.Fidelity, hostStack bool) (GenResult, error) {
 	cfg := fleet.SmallConfig()
 	cfg.Workers = 2
 	cfg.Fidelity = fid
+	cfg.HostStack = hostStack
 	t0 := time.Now()
 	ds, err := fleet.Generate(cfg)
 	if err != nil {
@@ -267,6 +290,30 @@ func compareCmd(args []string) {
 		}
 	} else if oh.WallSeconds > 0 {
 		failures = append(failures, "generate_hybrid: missing from new results")
+	}
+	// Host-stack gates (schema 3+): the instrumented generation must stay
+	// under the overhead ceiling relative to this run's own uninstrumented
+	// measurement (machine-independent by construction), regress no more
+	// than tolerance against the baseline wall, and — because arming the
+	// instrument must not perturb the simulation — hold its own digest
+	// steady across runs. Against a schema-1/2 baseline only the absolute
+	// ceiling applies.
+	ohs, nhs := older.GenerateHostStack, newer.GenerateHostStack
+	if nhs.WallSeconds > 0 {
+		if overhead := nhs.WallSeconds / ng.WallSeconds; overhead > maxHostStackOverhead {
+			failures = append(failures, fmt.Sprintf("generate_hoststack: %.2fx overhead over plain full fidelity (ceiling %.2fx)",
+				overhead, maxHostStackOverhead))
+		}
+		if ohs.WallSeconds > 0 && nhs.WallSeconds > ohs.WallSeconds*(1+*tol) {
+			failures = append(failures, fmt.Sprintf("generate_hoststack: %.2fs wall vs %.2fs baseline (+%.0f%%, tol %.0f%%)",
+				nhs.WallSeconds, ohs.WallSeconds, 100*(nhs.WallSeconds/ohs.WallSeconds-1), 100**tol))
+		}
+		if ohs.Digest != "" && nhs.Digest != ohs.Digest {
+			failures = append(failures, fmt.Sprintf("generate_hoststack: dataset digest drifted (%s -> %s): behavior change, not a perf change",
+				short(ohs.Digest), short(nhs.Digest)))
+		}
+	} else if ohs.WallSeconds > 0 {
+		failures = append(failures, "generate_hoststack: missing from new results")
 	}
 
 	if len(failures) > 0 {

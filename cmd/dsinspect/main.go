@@ -227,8 +227,12 @@ func overview(src source, top int) {
 	}
 	cfg := src.Config()
 	metas := src.RackMetas()
-	fmt.Printf("dataset: %d racks, %d runs, seed %d, %d servers/rack, hours %v\n",
-		len(metas), totalRuns+skipped, cfg.Seed, cfg.ServersPerRack, cfg.Hours)
+	instr := ""
+	if cfg.HostStack {
+		instr = ", hoststack on"
+	}
+	fmt.Printf("dataset: %d racks, %d runs, seed %d, %d servers/rack, hours %v%s\n",
+		len(metas), totalRuns+skipped, cfg.Seed, cfg.ServersPerRack, cfg.Hours, instr)
 	if skipped > 0 {
 		fmt.Printf("warning: %d runs skipped (rack metadata missing — degraded dataset)\n", skipped)
 	}
@@ -283,8 +287,19 @@ func drill(src source, region string, id int) {
 		os.Exit(1)
 	}
 	sort.Slice(runs, func(a, b int) bool { return runs[a].Hour < runs[b].Hour })
-	fmt.Printf("%-5s %9s %9s %8s %8s %9s %10s %9s\n",
-		"hour", "avg-cont", "p90-cont", "bursts", "lossy", "drop%", "GB/min", "discards")
+	hostStack := false
+	for i := range runs {
+		if runs[i].HostStack != nil {
+			hostStack = true
+			break
+		}
+	}
+	hsHdr := ""
+	if hostStack {
+		hsHdr = fmt.Sprintf(" %10s", "hs-p99(µs)")
+	}
+	fmt.Printf("%-5s %9s %9s %8s %8s %9s %10s %9s%s\n",
+		"hour", "avg-cont", "p90-cont", "bursts", "lossy", "drop%", "GB/min", "discards", hsHdr)
 	var lens []float64
 	for i := range runs {
 		r := &runs[i]
@@ -299,9 +314,17 @@ func drill(src source, region string, id int) {
 		if r.ShareDropOK {
 			drop = fmt.Sprintf("%.1f%%", 100*r.ShareDrop)
 		}
-		fmt.Printf("%-5d %9.2f %9.1f %8d %8d %9s %10.1f %9d\n",
+		hsCol := ""
+		if hostStack {
+			if r.HostStack != nil {
+				hsCol = fmt.Sprintf(" %10.0f", r.HostStack.InP99Us)
+			} else {
+				hsCol = fmt.Sprintf(" %10s", "-")
+			}
+		}
+		fmt.Printf("%-5d %9.2f %9.1f %8d %8d %9s %10.1f %9d%s\n",
 			r.Hour, r.AvgContention, r.P90Contention, len(r.Bursts), lossy,
-			drop, float64(r.IngressPerMin)/1e9, r.Switch.DiscardSegs)
+			drop, float64(r.IngressPerMin)/1e9, r.Switch.DiscardSegs, hsCol)
 	}
 	if len(lens) > 0 {
 		b := stats.Summarize(lens)

@@ -52,6 +52,7 @@ func main() {
 	server := flag.String("server", "", "queryd base URL: fetch renders remotely; -data/-sweep become catalog names")
 	md := flag.String("md", "", "also write results as markdown to this file")
 	plot := flag.Bool("plot", false, "render ASCII plots for figures that carry curves")
+	hostStack := flag.Bool("hoststack", false, "generate with the host-stack latency instrument armed (populates the hoststack table)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 		}
 	})
 
-	src, err := loadOrGenerate(*preset, *data, *seed, seedSet, *racks)
+	src, err := loadOrGenerate(*preset, *data, *seed, seedSet, *racks, *hostStack)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -204,7 +205,7 @@ func runRemote(server, data, sweepName, runIDs, md string) error {
 
 // loadOrGenerate resolves the experiments' dataset source: an existing
 // sharded directory, an existing legacy file, or a fresh generation.
-func loadOrGenerate(preset, data string, seed uint64, seedSet bool, racks int) (experiments.Source, error) {
+func loadOrGenerate(preset, data string, seed uint64, seedSet bool, racks int, hostStack bool) (experiments.Source, error) {
 	if data != "" {
 		if dataset.IsDir(data) {
 			r, err := dataset.Open(data)
@@ -244,6 +245,7 @@ func loadOrGenerate(preset, data string, seed uint64, seedSet bool, racks int) (
 	if racks > 0 {
 		cfg.RacksPerRegion = racks
 	}
+	cfg.HostStack = hostStack
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating %s dataset (%d racks/region x %d hours)...\n",
 		preset, cfg.RacksPerRegion, len(cfg.Hours))

@@ -55,6 +55,7 @@ func main() {
 	bshareDelay := flag.Duration("bshare-delay", 0, "counterfactual BShare delay budget, e.g. 100us (requires -policy bshare)")
 	distributed := flag.String("distributed", "", "coordinator URL: submit the generation as a distributed job instead of running locally")
 	fidelity := flag.String("fidelity", "", "simulation fidelity: full (default, byte-exact) or hybrid (fluid fast path)")
+	hostStack := flag.Bool("hoststack", false, "arm the host-stack latency instrument beside Millisampler (forces full fidelity)")
 	profFlags := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -115,6 +116,7 @@ func main() {
 		}
 		cfg.Fidelity = fid
 	}
+	cfg.HostStack = *hostStack
 	if *policy == "" && (*alpha != 0 || *ecn != 0 || *bshareDelay != 0) {
 		fmt.Fprintln(os.Stderr, "fleetgen: -alpha/-ecn/-bshare-delay need -policy (use -policy dt for baseline-style sharing)")
 		os.Exit(1)

@@ -52,6 +52,11 @@ type Config struct {
 	// CountFlows enables the per-bucket connection sketch. Disabling it
 	// models the cheaper filter variant of the §4.3 microbenchmark.
 	CountFlows bool
+	// HostStack arms the host-stack latency instrument (internal/hoststack)
+	// beside Millisampler: the Controller runs both on the same grid and the
+	// SyncRun carries the aligned latency series next to the byte series.
+	// Ignored by the plain Sampler.
+	HostStack bool
 }
 
 // DefaultConfig is the configuration behind every analysis in the paper:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/hoststack"
 	"repro/internal/netsim"
 	"repro/internal/retry"
 	"repro/internal/sim"
@@ -59,6 +60,9 @@ type HostCollection struct {
 	Attempts int
 	// Run is the harvested data; nil when Status is Missing or Unsynced.
 	Run *Run
+	// HostStack is the host-stack latency run harvested by the same RPC;
+	// nil when the instrument is off or the harvest failed.
+	HostStack *hoststack.Run
 	// Err is the last harvest error for Missing/Unsynced hosts.
 	Err error
 }
@@ -138,6 +142,9 @@ type SyncRun struct {
 	StartWall clock.WallTime
 	Servers   []ServerSeries
 	Health    Health
+	// HostStack is the host-stack latency collection aligned onto the same
+	// grid (Config.HostStack); nil when the instrument was off.
+	HostStack *hoststack.Series
 }
 
 // Controller is SyncMillisampler's centralized control plane for one rack:
@@ -151,6 +158,9 @@ type Controller struct {
 	cfg      Config
 	policy   HarvestPolicy
 	samplers []*Sampler
+	// hsSamplers is the per-server host-stack instrument, index-aligned with
+	// samplers; nil unless Config.HostStack is set.
+	hsSamplers []*hoststack.Sampler
 
 	cols      []HostCollection
 	armed     []bool
@@ -233,6 +243,10 @@ func NewController(rack *testbed.Rack, cfg Config) *Controller {
 	c := &Controller{rack: rack, cfg: cfg, policy: DefaultHarvestPolicy()}
 	for _, h := range rack.Servers {
 		c.samplers = append(c.samplers, NewSampler(h, cfg))
+		if cfg.HostStack {
+			hsCfg := hoststack.Config{Interval: cfg.Interval, Buckets: cfg.Buckets}
+			c.hsSamplers = append(c.hsSamplers, hoststack.NewSampler(h, hsCfg))
+		}
 	}
 	return c
 }
@@ -274,6 +288,10 @@ func (c *Controller) Schedule(at sim.Time) error {
 			}
 			s.Attach()
 			s.Enable()
+			if hs := c.hsSampler(i); hs != nil {
+				hs.Attach()
+				hs.Enable()
+			}
 			c.armed[i] = true
 		}
 	})
@@ -294,15 +312,23 @@ func (c *Controller) Schedule(at sim.Time) error {
 func (c *Controller) attempt(i, n int, deadline sim.Time) {
 	s := c.samplers[i]
 	var run *Run
+	var hsRun *hoststack.Run
 	c.rack.Control.Call(s.host, func() {
+		// One RPC harvests both instruments so their collection outcome is
+		// atomic: a run either carries both series or neither.
 		run = s.Read()
 		s.Detach()
+		if hs := c.hsSampler(i); hs != nil {
+			hsRun = hs.Read()
+			hs.Detach()
+		}
 	}, func(err error) {
 		if err == nil {
 			st := StatusOK
 			if run.Truncated {
 				st = StatusTruncated
 			}
+			c.cols[i].HostStack = hsRun
 			c.resolve(i, st, run, nil, n)
 			return
 		}
@@ -345,6 +371,15 @@ func (c *Controller) HarvestDeadline(at sim.Time) sim.Time {
 // accounting; the samplers remain owned by the controller.
 func (c *Controller) Samplers() []*Sampler { return c.samplers }
 
+// hsSampler returns server i's host-stack sampler, nil when the instrument
+// is off.
+func (c *Controller) hsSampler(i int) *hoststack.Sampler {
+	if c.hsSamplers == nil {
+		return nil
+	}
+	return c.hsSamplers[i]
+}
+
 // Done reports whether every host of the scheduled run has been resolved
 // (harvested, or conclusively failed). It resets on each Schedule call.
 func (c *Controller) Done() bool { return c.done }
@@ -380,7 +415,20 @@ func (c *Controller) Result() (*SyncRun, error) {
 		}
 		ports[i] = p
 	}
-	return AlignCollections(c.cols, ports)
+	sr, err := AlignCollections(c.cols, ports)
+	if err != nil {
+		return nil, err
+	}
+	if c.hsSamplers != nil {
+		// Align the host-stack runs onto the grid the Millisampler alignment
+		// just chose, so sample j of both instruments covers the same window.
+		runs := make([]*hoststack.Run, len(c.cols))
+		for i := range c.cols {
+			runs[i] = c.cols[i].HostStack
+		}
+		sr.HostStack = hoststack.AlignRuns(runs, ports, sr.StartWall, sr.Interval, sr.Samples)
+	}
+	return sr, nil
 }
 
 // Align trims a set of per-host runs to their common window and linearly

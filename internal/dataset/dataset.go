@@ -121,6 +121,14 @@ func fidelityName(f fleet.Fidelity) string {
 	return string(f)
 }
 
+// onOff spells a boolean knob for error messages.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 // configsMatch reports whether a resume config is compatible with the
 // manifest's.
 func configsMatch(a, b fleet.Config) bool {

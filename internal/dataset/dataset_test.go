@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -193,6 +194,17 @@ func TestResumeRefusesMismatchedConfig(t *testing.T) {
 	full.Fidelity = fleet.FidelityFull
 	if _, err := Create(dir, full); err != nil {
 		t.Errorf("explicit full fidelity blocked resume: %v", err)
+	}
+	// HostStack changes what shards carry, so a mixed-knob resume must be
+	// refused — and the message must name the knob so the operator knows
+	// which flag to flip.
+	hs := cfg
+	hs.HostStack = true
+	_, err := Create(dir, hs)
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("hoststack resume of plain dataset: err = %v, want ErrConfigMismatch", err)
+	} else if !strings.Contains(err.Error(), "hoststack") {
+		t.Errorf("mismatch message does not name the hoststack knob: %v", err)
 	}
 }
 

@@ -34,6 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"sec6",
 		"fig16alt", "fig17", "fig18", "fig19", "tab1", "tab2",
+		"hoststack",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/hoststack"
+)
+
+func init() {
+	register("hoststack", HostStackFrontDoor)
+}
+
+// HostStackFrontDoor answers the "front door vs. switch" question raised by
+// the netstacklat work (PAPERS.md, arXiv 2606.02057): per ToR contention
+// class, does switch loss or host-stack queueing dominate tail latency? It
+// correlates the host-stack instrument's ingress delay quantiles with the
+// class's switch discards and lossy-burst fraction.
+//
+// Datasets generated without Config.HostStack carry no latency records; the
+// experiment then renders an explanatory note instead of failing, so RunAll
+// keeps working on plain datasets.
+func HostStackFrontDoor(src Source) (*Result, error) {
+	r := &Result{
+		ID:     "hoststack",
+		Title:  "Host-stack ingress delay vs contention class vs loss",
+		Header: []string{"class", "runs", "in p50 (µs)", "in p99 (µs)", "in p999 (µs)", "% segs ≥1ms", "worst ms p99 (µs)", "% lossy bursts", "discards/ingress"},
+	}
+	type acc struct {
+		runs   int
+		bins   [hoststack.NumBins]uint64
+		inSegs uint64
+		slow   uint64 // segments with ≥1024 µs ingress delay
+		worst  float64
+
+		bursts, lossy          int
+		discardBytes, enqBytes float64
+	}
+	byClass := map[fleet.Class]*acc{}
+	for _, c := range classOrder {
+		byClass[c] = &acc{}
+	}
+	instrumented := 0
+	err := eachRun(src, func(run *fleet.RunSummary, c fleet.Class) error {
+		a := byClass[c]
+		if a == nil {
+			return nil
+		}
+		a.bursts += len(run.Bursts)
+		for _, b := range run.Bursts {
+			if b.Lossy {
+				a.lossy++
+			}
+		}
+		a.discardBytes += float64(run.Switch.DiscardBytes)
+		a.enqBytes += float64(run.Switch.EnqueuedBytes)
+		hs := run.HostStack
+		if hs == nil {
+			return nil
+		}
+		instrumented++
+		a.runs++
+		a.inSegs += hs.InSegs
+		for i, v := range hs.InBins {
+			a.bins[i] += v
+		}
+		a.slow += uint64(hs.ShareAboveUs(1024) * float64(hs.InSegs))
+		if hs.MaxMsInP99Us > a.worst {
+			a.worst = hs.MaxMsInP99Us
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if instrumented == 0 {
+		// A placeholder row keeps the table well-formed for generic renderers
+		// (and RunAll), while the note says how to populate it.
+		r.AddRow("(uninstrumented)", "-", "-", "-", "-", "-", "-", "-", "-")
+		r.Notef("dataset carries no host-stack series — regenerate with the HostStack knob (fleetgen -hoststack) to populate this table")
+		return r, nil
+	}
+	quant := func(a *acc, q float64) string {
+		p, ok := hoststack.QuantileUs(a.bins[:], q)
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", p)
+	}
+	for _, c := range classOrder {
+		a := byClass[c]
+		if a.runs == 0 {
+			r.AddRow(c.String(), "0", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		slowShare, lossyShare, perGB := "-", "-", "-"
+		if a.inSegs > 0 {
+			slowShare = fmtPct(float64(a.slow) / float64(a.inSegs))
+		}
+		if a.bursts > 0 {
+			lossyShare = fmtPct(float64(a.lossy) / float64(a.bursts))
+		}
+		if a.enqBytes > 0 {
+			perGB = fmt.Sprintf("%.3g", a.discardBytes/a.enqBytes)
+		}
+		r.AddRow(c.String(), fmt.Sprintf("%d", a.runs),
+			quant(a, 0.50), quant(a, 0.99), quant(a, 0.999),
+			slowShare, fmt.Sprintf("%.0f", a.worst), lossyShare, perGB)
+	}
+	r.Notef("netstacklat finding under test: host ingress queueing can dominate tail latency independently of switch loss — compare p999 across classes against the per-class lossy fraction")
+	return r, nil
+}

@@ -106,6 +106,15 @@ type Config struct {
 	// legacy path, FidelityHybrid the fluid fast path. The normalized form
 	// spells full as "" so manifests written before the knob still match.
 	Fidelity Fidelity
+	// HostStack arms the host-stack latency instrument (internal/hoststack)
+	// beside Millisampler on every server. The tap is pure bookkeeping, so
+	// turning it on changes no simulated behavior — sweep metrics stay
+	// byte-identical — but each RunSummary gains a HostStackRec, so dataset
+	// digests differ and mixed-knob resume is refused. HostStack forces full
+	// packet fidelity: the fluid model advances quiet intervals without
+	// per-segment delivery events, so there is nothing for the tap to
+	// timestamp (same contract as hybrid-incompatible switch overrides).
+	HostStack bool
 }
 
 // DefaultConfig is the full-size generation used by cmd/fleetgen and the

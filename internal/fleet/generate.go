@@ -70,6 +70,12 @@ type RunSummary struct {
 	// IngressPerMin extrapolates the window's rack ingress volume to a
 	// one-minute granularity, mirroring production switch counters.
 	IngressPerMin int64
+
+	// HostStack is the host-stack latency reduction; nil unless the run was
+	// generated with Config.HostStack. The omitempty keeps knob-off
+	// summaries byte-identical to pre-knob datasets, preserving every
+	// golden digest.
+	HostStack *HostStackRec `json:",omitempty"`
 }
 
 // WindowSeconds returns the aligned run duration in seconds.
@@ -259,6 +265,9 @@ func summarize(spec RackSpec, hour int, sr *core.SyncRun, delta SwitchDelta) Run
 	}
 	if w := rs.WindowSeconds(); w > 0 {
 		rs.IngressPerMin = int64(float64(delta.EnqueuedBytes) * 60 / w)
+	}
+	if sr.HostStack != nil {
+		rs.HostStack = hostStackRec(sr.HostStack)
 	}
 	return rs
 }

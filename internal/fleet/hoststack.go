@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"repro/internal/hoststack"
+)
+
+// HostStackRec is the dataset-resident reduction of one rack-hour's
+// host-stack latency collection (Config.HostStack). It is a pointer field on
+// RunSummary tagged omitempty: with the instrument off the field is nil, the
+// summary's JSON is byte-identical to pre-knob datasets, and every golden
+// digest is preserved.
+type HostStackRec struct {
+	// Hosts is how many servers contributed host-stack data.
+	Hosts int
+	// InSegs / EgSegs are total observed segments per direction.
+	InSegs uint64
+	EgSegs uint64
+	// InBins / EgBins are the rack-wide latency histograms over the aligned
+	// window (log-spaced, hoststack.NumBins log2-µs bins).
+	InBins [hoststack.NumBins]uint64
+	EgBins [hoststack.NumBins]uint64
+	// Window quantiles of the ingress (front door) and egress delay, µs.
+	InP50Us  float64
+	InP99Us  float64
+	InP999Us float64
+	EgP99Us  float64
+	// MaxMsInP99Us is the worst single-millisecond ingress p99 across all
+	// servers and aligned samples — the instrument's burst-scale tail.
+	MaxMsInP99Us float64
+}
+
+// hostStackRec reduces an aligned series to its dataset record.
+func hostStackRec(s *hoststack.Series) *HostStackRec {
+	rec := &HostStackRec{Hosts: s.Collected}
+	in := s.TotalsIn()
+	eg := s.TotalsEg()
+	rec.InBins = in
+	rec.EgBins = eg
+	for _, v := range in {
+		rec.InSegs += v
+	}
+	for _, v := range eg {
+		rec.EgSegs += v
+	}
+	rec.InP50Us, _ = hoststack.QuantileUs(in[:], 0.50)
+	rec.InP99Us, _ = hoststack.QuantileUs(in[:], 0.99)
+	rec.InP999Us, _ = hoststack.QuantileUs(in[:], 0.999)
+	rec.EgP99Us, _ = hoststack.QuantileUs(eg[:], 0.99)
+	for i := range s.Servers {
+		ss := &s.Servers[i]
+		for j := 0; j < ss.ValidSamples && j < len(ss.InP99Us); j++ {
+			if ss.InP99Us[j] > rec.MaxMsInP99Us {
+				rec.MaxMsInP99Us = ss.InP99Us[j]
+			}
+		}
+	}
+	return rec
+}
+
+// ShareAboveUs returns the fraction of ingress segments whose host-stack
+// delay reached at least us microseconds (a power of two; other values round
+// down to the containing bin's lower bound).
+func (r *HostStackRec) ShareAboveUs(us float64) float64 {
+	if r.InSegs == 0 {
+		return 0
+	}
+	var above uint64
+	for b := 0; b < hoststack.NumBins; b++ {
+		if hoststack.BinUpperUs(b) > us {
+			above += r.InBins[b]
+		}
+	}
+	return float64(above) / float64(r.InSegs)
+}

@@ -57,8 +57,10 @@ func SimulateRunFull(cfg Config, spec RackSpec, hour int) (*core.SyncRun, Switch
 	cfg = cfg.withDefaults()
 	// Overrides the fluid model cannot represent (BShare, ABM, ECN off)
 	// silently fall back to full packet fidelity: the dataset stays correct
-	// and the digest stays a pure function of the config either way.
-	if cfg.Fidelity == FidelityHybrid && cfg.Switch.HybridCompatible() {
+	// and the digest stays a pure function of the config either way. The
+	// host-stack instrument takes the same route: fluid intervals deliver no
+	// per-segment events for the tap to timestamp.
+	if cfg.Fidelity == FidelityHybrid && cfg.Switch.HybridCompatible() && !cfg.HostStack {
 		return simulateRunHybrid(cfg, spec, hour)
 	}
 	rcfg := testbed.RackConfig{
@@ -81,6 +83,7 @@ func SimulateRunFull(cfg Config, spec RackSpec, hour int) (*core.SyncRun, Switch
 
 	ctrl := core.NewController(rack, core.Config{
 		Interval: cfg.Interval, Buckets: cfg.Buckets, CountFlows: true,
+		HostStack: cfg.HostStack,
 	})
 	if err := ctrl.Schedule(warmup); err != nil {
 		return nil, SwitchCounters{}, fmt.Errorf("rack %s/%d hour %d: %w", spec.Region, spec.ID, hour, err)

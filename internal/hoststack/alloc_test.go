@@ -1,0 +1,61 @@
+package hoststack
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// allocHost builds a host+sampler pair and a working set of segments for the
+// per-packet allocation assertions, mirroring internal/core/alloc_test.go:
+// the tap models an in-kernel hook and must add no allocation or GC pressure
+// to the packet path.
+func allocHost(cfg Config) (*Sampler, []*netsim.Segment) {
+	eng := sim.NewEngine()
+	h := netsim.NewHost(eng, netsim.HostConfig{ID: 1, Cores: 4})
+	h.SetForwarder(netsim.ForwarderFunc(func(*netsim.Segment) {}))
+	s := NewSampler(h, cfg)
+	segs := make([]*netsim.Segment, 64)
+	for i := range segs {
+		segs[i] = &netsim.Segment{
+			Flow: netsim.FlowKey{Src: 7, Dst: 1, SrcPort: uint16(i), DstPort: 80},
+			Size: 1500,
+		}
+	}
+	return s, segs
+}
+
+// TestObserveZeroAlloc asserts the enabled hot path performs zero heap
+// allocations per segment, in both directions.
+func TestObserveZeroAlloc(t *testing.T) {
+	s, segs := allocHost(Config{})
+	s.Enable()
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		dir := netsim.Direction(i & 1)
+		s.Observe(sim.Time(i)*sim.Microsecond, i&3, dir, segs[i&63], sim.Time(i&1023)*sim.Microsecond)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Observe allocates %.2f objects per segment, want 0", allocs)
+	}
+}
+
+// TestObserveDisabledZeroAlloc asserts the installed-but-disabled fast path
+// (tap attached between runs) also allocates nothing.
+func TestObserveDisabledZeroAlloc(t *testing.T) {
+	s, segs := allocHost(Config{})
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		dir := netsim.Direction(i & 1)
+		s.Observe(sim.Time(i)*sim.Microsecond, i&3, dir, segs[i&63], sim.Time(i&1023)*sim.Microsecond)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Observe allocates %.2f objects per segment, want 0", allocs)
+	}
+	if s.DisabledCalls == 0 {
+		t.Fatal("disabled path was never exercised")
+	}
+}

@@ -1,0 +1,133 @@
+package hoststack
+
+import (
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ServerSeries is one server's host-stack latency timeseries aligned onto a
+// SyncRun's grid. Histogram buckets cannot be linearly interpolated the way
+// byte counters can, so alignment maps each aligned sample to the nearest
+// source bucket instead; on the shared Millisampler grid both instruments
+// have the same origin and interval, making the mapping exact in practice.
+type ServerSeries struct {
+	Host netsim.HostID
+	Port int
+	// Collected reports whether a started run was harvested from this host;
+	// when false every series below is zero.
+	Collected bool
+	// ValidSamples is how many leading samples carry real data (shorter than
+	// the run's Samples for truncated hosts).
+	ValidSamples int
+
+	// InP99Us / InP999Us are per-sample ingress host-stack delay quantiles in
+	// microseconds (0 where the sample saw no segments).
+	InP99Us  []float64
+	InP999Us []float64
+	// InSegs / EgSegs are per-sample observed segment counts.
+	InSegs []uint64
+	EgSegs []uint64
+
+	// InBins / EgBins are the window-total latency histograms, for quantiles
+	// over the whole collection.
+	InBins [NumBins]uint64
+	EgBins [NumBins]uint64
+}
+
+// Series is the rack-wide aligned host-stack collection riding beside the
+// Millisampler series inside a SyncRun: same interval, sample count and
+// origin.
+type Series struct {
+	Interval  sim.Time
+	Samples   int
+	StartWall clock.WallTime
+	Servers   []ServerSeries
+	// Collected counts servers that contributed data.
+	Collected int
+}
+
+// TotalsIn sums the ingress window-total histograms across servers.
+func (s *Series) TotalsIn() [NumBins]uint64 {
+	var out [NumBins]uint64
+	for i := range s.Servers {
+		for b, v := range s.Servers[i].InBins {
+			out[b] += v
+		}
+	}
+	return out
+}
+
+// TotalsEg sums the egress window-total histograms across servers.
+func (s *Series) TotalsEg() [NumBins]uint64 {
+	var out [NumBins]uint64
+	for i := range s.Servers {
+		for b, v := range s.Servers[i].EgBins {
+			out[b] += v
+		}
+	}
+	return out
+}
+
+// AlignRuns aligns harvested host-stack runs onto a SyncRun grid (start,
+// interval, samples — take them from the Millisampler SyncRun so the two
+// instruments line up sample-for-sample). runs[i] may be nil for hosts whose
+// harvest failed; ports pairs each run with its rack port.
+func AlignRuns(runs []*Run, ports []int, start clock.WallTime, interval sim.Time, samples int) *Series {
+	s := &Series{Interval: interval, Samples: samples, StartWall: start}
+	for i, r := range runs {
+		ss := ServerSeries{Port: ports[i]}
+		if r != nil {
+			ss.Host = r.Host
+		}
+		ss.InP99Us = make([]float64, samples)
+		ss.InP999Us = make([]float64, samples)
+		ss.InSegs = make([]uint64, samples)
+		ss.EgSegs = make([]uint64, samples)
+		if r == nil || !r.Started || r.Interval != interval {
+			s.Servers = append(s.Servers, ss)
+			continue
+		}
+		valid := r.Buckets
+		if r.Truncated {
+			valid = r.ValidBuckets
+		}
+		if valid <= 0 {
+			s.Servers = append(s.Servers, ss)
+			continue
+		}
+		ss.Collected = true
+		s.Collected++
+
+		// Nearest source bucket for aligned sample 0; the shared grid makes
+		// off 0 for hosts whose run started exactly at the common origin.
+		off := int((int64(start-r.StartWall) + int64(interval)/2) / int64(interval))
+		covered := 0
+		for j := 0; j < samples; j++ {
+			b := off + j
+			if b < 0 || b >= valid {
+				continue
+			}
+			covered = j + 1
+			inCell := r.Bucket(netsim.Ingress, b)
+			egCell := r.Bucket(netsim.Egress, b)
+			for bin, v := range inCell {
+				ss.InSegs[j] += uint64(v)
+				ss.InBins[bin] += uint64(v)
+			}
+			for bin, v := range egCell {
+				ss.EgSegs[j] += uint64(v)
+				ss.EgBins[bin] += uint64(v)
+			}
+			if p, ok := bucketQuantileUs(inCell, 0.99); ok {
+				ss.InP99Us[j] = p
+			}
+			if p, ok := bucketQuantileUs(inCell, 0.999); ok {
+				ss.InP999Us[j] = p
+			}
+		}
+		ss.ValidSamples = covered
+		s.Servers = append(s.Servers, ss)
+	}
+	return s
+}

@@ -36,6 +36,18 @@ type Filter interface {
 // the role of the kernel TCP stack. The transport package installs one.
 type ProtocolHandler func(seg *Segment)
 
+// StackTap observes host-stack latency at the instrumentation points of the
+// packet path, netstacklat-style. On ingress it fires at socket delivery
+// (after the stall and GRO models, on the RSS-selected soft-irq core) with
+// span = time the segment spent inside the host since NIC arrival; on egress
+// it fires at Send with span = the NIC's committed serialization backlog.
+// Like Filters, a tap must not retain seg beyond the call and must not
+// mutate simulation state: it is pure bookkeeping, so enabling it never
+// perturbs the event schedule.
+type StackTap interface {
+	Observe(now sim.Time, core int, dir Direction, seg *Segment, span sim.Time)
+}
+
 // Forwarder is the host's next hop for egress traffic (its ToR uplink path).
 type Forwarder interface {
 	Forward(seg *Segment)
@@ -63,6 +75,7 @@ type Host struct {
 	egress  []Filter
 	handler ProtocolHandler
 	gro     *groState
+	tap     StackTap
 
 	// RxBytes and TxBytes count all traffic through the host, filters aside.
 	RxBytes int64
@@ -162,6 +175,14 @@ func (h *Host) SetForwarder(f Forwarder) {
 // SetProtocolHandler installs the transport-layer receive entry point.
 func (h *Host) SetProtocolHandler(p ProtocolHandler) { h.handler = p }
 
+// SetStackTap installs (or, with nil, removes) the host-stack latency tap.
+// A host has at most one tap; like the tc chains it does not survive a
+// crash.
+func (h *Host) SetStackTap(t StackTap) { h.tap = t }
+
+// StackTapInstalled reports whether a latency tap is attached.
+func (h *Host) StackTapInstalled() bool { return h.tap != nil }
+
 // AttachIngress appends f to the ingress tc chain.
 func (h *Host) AttachIngress(f Filter) { h.ingress = append(h.ingress, f) }
 
@@ -223,6 +244,7 @@ func (h *Host) Crash(downtime sim.Time) {
 	h.stalledUntil = 0
 	h.ingress = nil
 	h.egress = nil
+	h.tap = nil
 	if h.gro != nil {
 		h.gro.dropAll()
 		h.gro = nil
@@ -267,6 +289,11 @@ func (h *Host) Inject(seg *Segment) {
 			h.pool.Put(seg)
 			return
 		}
+	}
+	if seg.StackArrival == 0 {
+		// First entry into this host; flushStall re-injects held segments and
+		// must keep their original NIC arrival.
+		seg.StackArrival = h.eng.Now()
 	}
 	if h.eng.Now() < h.stalledUntil {
 		h.stalled = append(h.stalled, seg)
@@ -313,6 +340,13 @@ func (h *Host) deliver(seg *Segment) {
 	for _, f := range h.ingress {
 		f.Handle(now, core, Ingress, seg)
 	}
+	if h.tap != nil {
+		span := sim.Time(0)
+		if seg.StackArrival > 0 && now > seg.StackArrival {
+			span = now - seg.StackArrival
+		}
+		h.tap.Observe(now, core, Ingress, seg, span)
+	}
 	if h.handler != nil {
 		h.handler(seg)
 	}
@@ -336,6 +370,9 @@ func (h *Host) Send(seg *Segment) {
 	core := h.rssCore(seg)
 	for _, f := range h.egress {
 		f.Handle(now, core, Egress, seg)
+	}
+	if h.tap != nil {
+		h.tap.Observe(now, core, Egress, seg, h.nic.Backlog())
 	}
 	h.nic.Send(seg, h.fwd)
 }

@@ -11,7 +11,11 @@
 // 64 KB-inflation effect the paper reports at 100 µs sampling.
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // HostID identifies a simulated machine. Rack-local servers and remote
 // (fabric-side) hosts share one ID space per testbed.
@@ -94,6 +98,14 @@ type Segment struct {
 	// EnqueuedShared records how many bytes of this segment were accounted
 	// against the shared pool when the switch admitted it; used on dequeue.
 	EnqueuedShared int
+
+	// StackArrival is the engine time the segment entered the receiving
+	// host's NIC (Host.Inject). The host-stack latency tap (Host.SetStackTap)
+	// reads it at socket delivery to measure how long the segment spent
+	// inside the host — stall holds and GRO coalescing included. Zero means
+	// "not yet stamped"; re-injection after a soft-irq stall preserves the
+	// original arrival.
+	StackArrival sim.Time
 
 	// pooled marks a segment created by a SegmentPool; only those are
 	// recycled on release. freed marks a pooled segment currently sitting in

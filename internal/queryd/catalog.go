@@ -48,6 +48,10 @@ type DatasetInfo struct {
 	Racks       int    `json:"racks"`
 	Seed        uint64 `json:"seed"`
 	Fidelity    string `json:"fidelity"`
+	// HostStack reports whether the store was generated with the host-stack
+	// latency instrument armed, i.e. whether its runs carry HostStackRec
+	// series (the "hoststack" render needs them).
+	HostStack bool `json:"hoststack,omitempty"`
 	// Digest is the store fingerprint (sha256 over per-shard digests);
 	// empty until complete. It doubles as the ETag base for every response
 	// derived from this dataset.
@@ -246,6 +250,7 @@ func (c *Catalog) datasetLocked(name, dir string) (*datasetEntry, error) {
 		Racks:       len(src.RackMetas()),
 		Seed:        cfg.Seed,
 		Fidelity:    fidelityName(cfg),
+		HostStack:   cfg.HostStack,
 	}
 	if info.Complete {
 		if info.Digest, err = src.StoreDigest(); err != nil {

@@ -38,6 +38,10 @@ func fixConfig() fleet.Config {
 	c.Hours = []int{2, 6}
 	c.Buckets = 200
 	c.Workers = 2
+	// Arm the host-stack instrument so the fixture exercises the full
+	// HostStackRec path: gob shard round-trip, catalog flag, and the
+	// "hoststack" render with real series.
+	c.HostStack = true
 	return c
 }
 
@@ -143,6 +147,9 @@ func TestCatalog(t *testing.T) {
 	// Sorted by name: data/tiny before partial.
 	if cat.Datasets[0].Name != "data/tiny" || !cat.Datasets[0].Complete || cat.Datasets[0].Digest == "" {
 		t.Errorf("data/tiny row: %+v", cat.Datasets[0])
+	}
+	if !cat.Datasets[0].HostStack {
+		t.Errorf("data/tiny row does not surface the host-stack instrument: %+v", cat.Datasets[0])
 	}
 	if cat.Datasets[1].Name != "partial" || cat.Datasets[1].Complete || cat.Datasets[1].Digest != "" {
 		t.Errorf("partial row: %+v", cat.Datasets[1])
@@ -385,6 +392,33 @@ func TestDatasetRenderCacheAndETag(t *testing.T) {
 	}
 	if bytes.Equal(md, first) {
 		t.Error("md render identical to text render")
+	}
+}
+
+// TestHostStackRender serves the host-stack experiment over the instrumented
+// fixture: the table must carry real per-class latency rows (not the
+// "no series" note) and revalidate via ETag like every other render.
+func TestHostStackRender(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/v1/datasets/data/tiny/renders/hoststack", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hoststack render: %s: %s", resp.Status, body)
+	}
+	if strings.Contains(string(body), "no host-stack series") {
+		t.Fatalf("render fell back to the uninstrumented note:\n%s", body)
+	}
+	for _, class := range []string{"RegA-Typical", "RegA-High", "RegB"} {
+		if !strings.Contains(string(body), class) {
+			t.Errorf("render missing class row %s:\n%s", class, body)
+		}
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("hoststack render has no ETag")
+	}
+	resp, _ = get(t, ts.URL+"/v1/datasets/data/tiny/renders/hoststack", map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("hoststack revalidation: %s", resp.Status)
 	}
 }
 

@@ -1,0 +1,24 @@
+package sweep
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestHostStackInvariantResultDigest pins the instrument's non-interference
+// contract at the sweep layer: the host-stack tap is pure bookkeeping and
+// the sweep's point tallies carry no host-stack fields, so running the same
+// smoke spec with Fleet.HostStack on and off must produce byte-identical
+// ResultDigests.
+func TestHostStackInvariantResultDigest(t *testing.T) {
+	off := tinySpec(17)
+	dOff := runDigest(t, filepath.Join(t.TempDir(), "off"), off, Options{Workers: 2})
+
+	on := tinySpec(17)
+	on.Fleet.HostStack = true
+	dOn := runDigest(t, filepath.Join(t.TempDir(), "on"), on, Options{Workers: 2})
+
+	if dOn != dOff {
+		t.Fatalf("HostStack changed the sweep result digest:\n on  %s\n off %s", dOn, dOff)
+	}
+}

@@ -11,9 +11,9 @@
 #
 # Environment knobs:
 #   BENCH_FILE       result file (default BENCH.json)
-#   BENCH_BASELINE   baseline when no result file exists (default BENCH_PR7.json,
-#                    the most recent committed record — schema 2 with the
-#                    hybrid-fidelity measurements)
+#   BENCH_BASELINE   baseline when no result file exists (default BENCH_PR10.json,
+#                    the most recent committed record — schema 3 with the
+#                    hybrid-fidelity and host-stack measurements)
 #   BENCH_TOLERANCE  allowed fractional regression in ns/op and wall time
 #                    (default 0.50 — the figure benchmarks run few iterations
 #                    and shared boxes are noisy; allocs/op regressions from
@@ -24,7 +24,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${BENCH_FILE:-BENCH.json}
-BASE=${BENCH_BASELINE:-BENCH_PR7.json}
+BASE=${BENCH_BASELINE:-BENCH_PR10.json}
 TOL=${BENCH_TOLERANCE:-0.50}
 NEW="$OUT.new"
 

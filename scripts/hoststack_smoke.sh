@@ -1,0 +1,76 @@
+#!/bin/sh
+# hoststack_smoke.sh proves the host-stack latency instrument end to end at
+# the shell level: a hoststack-enabled sharded generation is digest-stable
+# across fresh and interrupted-then-resumed runs, dsinspect surfaces the
+# instrument in its overview, and a resume that drops the -hoststack flag is
+# refused instead of silently mixing instrumented and uninstrumented shards.
+#
+# This is the shell-level companion to the in-process guards
+# (internal/fleet/hoststack_test.go, internal/dataset's mismatch tests):
+# real binaries, a real SIGINT, real resume.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Two racks/region x two hours = 8 shards: enough that the interrupted run
+# usually stops partway, small enough to stay CI-friendly. If the INT lands
+# after completion the resume degenerates to a no-op — digest equality still
+# holds, the test just exercises less.
+FLAGS="-preset small -racks 2 -servers 16 -hours 0,6 -buckets 500 -seed 9 -hoststack"
+
+tmp="$(mktemp -d)"
+cleanup() {
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo ">> building binaries"
+go build -o "$tmp/bin/" ./cmd/fleetgen ./cmd/dsinspect
+
+echo ">> fresh hoststack-enabled generation"
+# shellcheck disable=SC2086 # FLAGS is a flag list by construction
+"$tmp/bin/fleetgen" $FLAGS -o "$tmp/golden.ds"
+golden="$("$tmp/bin/dsinspect" -data "$tmp/golden.ds" -digest)"
+echo "   golden digest $golden"
+
+overview="$("$tmp/bin/dsinspect" -data "$tmp/golden.ds")"
+case "$overview" in
+*"hoststack on"*) ;;
+*)
+    echo "hoststack_smoke: FAIL: dsinspect overview does not surface 'hoststack on'" >&2
+    exit 1
+    ;;
+esac
+
+echo ">> interrupted generation, then resume with the same flags"
+# shellcheck disable=SC2086
+"$tmp/bin/fleetgen" $FLAGS -o "$tmp/resume.ds" &
+gen=$!
+sleep 1
+kill -INT "$gen" 2>/dev/null || true
+wait "$gen" || true
+# shellcheck disable=SC2086
+"$tmp/bin/fleetgen" $FLAGS -o "$tmp/resume.ds"
+resumed="$("$tmp/bin/dsinspect" -data "$tmp/resume.ds" -digest)"
+echo "   resumed digest $resumed"
+if [ "$golden" != "$resumed" ]; then
+    echo "hoststack_smoke: FAIL: resumed digest $resumed != golden $golden" >&2
+    exit 1
+fi
+
+echo ">> resume without -hoststack must be refused"
+# shellcheck disable=SC2086
+if err="$("$tmp/bin/fleetgen" $(echo "$FLAGS" | sed 's/ -hoststack//') -o "$tmp/resume.ds" 2>&1)"; then
+    echo "hoststack_smoke: FAIL: uninstrumented resume over an instrumented dataset succeeded" >&2
+    exit 1
+fi
+case "$err" in
+*hoststack*) ;;
+*)
+    echo "hoststack_smoke: FAIL: mismatch error does not name the hoststack knob:" >&2
+    echo "$err" >&2
+    exit 1
+    ;;
+esac
+
+echo "hoststack_smoke: PASS — instrumented generation digest-stable across resume; mixing refused"
